@@ -1,0 +1,29 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Each benchmark regenerates one table/figure of the paper, prints the
+reproduced rows (run pytest with ``-s`` to see them) and asserts the
+paper-band checks recorded in EXPERIMENTS.md.  Wall time measured by
+pytest-benchmark is the *simulation* cost; the reproduced numbers are
+virtual-time results inside the report.
+"""
+
+import os
+import sys
+
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+
+def run_report(benchmark, fn, *args, min_fraction: float = 1.0, **kwargs):
+    """Run a bench module's run() under pytest-benchmark and check bands."""
+    report = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    print()
+    print(report.render())
+    fraction = report.fraction_in_band()
+    assert fraction >= min_fraction, (
+        f"{report.title}: only {fraction:.0%} of paper-band checks passed:\n"
+        + "\n".join(c.describe() for c in report.misses)
+    )
+    return report

@@ -1,0 +1,9 @@
+"""Ablation: lazy batched ACKs vs per-message ACKs."""
+
+from repro.bench import ablations
+
+from conftest import run_report
+
+
+def test_ack_batching(benchmark):
+    run_report(benchmark, ablations.run_ack_batching_ablation)

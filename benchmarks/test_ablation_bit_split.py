@@ -1,0 +1,9 @@
+"""Ablation: composite seqno bit split enforced end to end."""
+
+from repro.bench import ablations
+
+from conftest import run_report
+
+
+def test_bit_split(benchmark):
+    run_report(benchmark, ablations.run_bit_split_ablation)

@@ -1,0 +1,9 @@
+"""Ablation: per-queue flow contexts + resync vs per-message contexts."""
+
+from repro.bench import ablations
+
+from conftest import run_report
+
+
+def test_flow_context_policy(benchmark):
+    run_report(benchmark, ablations.run_flow_context_ablation)

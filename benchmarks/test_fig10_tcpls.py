@@ -1,0 +1,9 @@
+"""Figure 10: TCPLS comparison."""
+
+from repro.bench import fig10
+
+from conftest import run_report
+
+
+def test_fig10_tcpls(benchmark):
+    run_report(benchmark, fig10.run, min_fraction=0.9)

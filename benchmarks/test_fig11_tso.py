@@ -1,0 +1,9 @@
+"""Figure 11: effect of TSO (full / two-packet / off)."""
+
+from repro.bench import fig11
+
+from conftest import run_report
+
+
+def test_fig11_tso_effect(benchmark):
+    run_report(benchmark, fig11.run)

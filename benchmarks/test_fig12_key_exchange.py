@@ -1,0 +1,9 @@
+"""Figure 12: key-exchange latency across handshake variants."""
+
+from repro.bench import fig12
+
+from conftest import run_report
+
+
+def test_fig12_key_exchange(benchmark):
+    run_report(benchmark, fig12.run)

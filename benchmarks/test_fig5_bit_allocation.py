@@ -1,0 +1,9 @@
+"""Figure 5: composite sequence number bit-allocation trade-off."""
+
+from repro.bench import fig5
+
+from conftest import run_report
+
+
+def test_fig5_bit_allocation(benchmark):
+    run_report(benchmark, fig5.run)

@@ -1,0 +1,9 @@
+"""Figure 6: unloaded RTT of various-sized RPCs across all systems."""
+
+from repro.bench import fig6
+
+from conftest import run_report
+
+
+def test_fig6_unloaded_rtt(benchmark):
+    run_report(benchmark, fig6.run, min_fraction=0.9)

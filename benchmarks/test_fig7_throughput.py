@@ -1,0 +1,17 @@
+"""Figure 7: concurrent RPC throughput, plus the in-text variants."""
+
+from repro.bench import fig7
+
+from conftest import run_report
+
+
+def test_fig7_throughput(benchmark):
+    run_report(benchmark, fig7.run, min_fraction=0.85, duration=2.5e-3)
+
+
+def test_fig7_jumbo_mtu(benchmark):
+    run_report(benchmark, fig7.run_mtu_comparison, min_fraction=0.5, duration=2.5e-3)
+
+
+def test_fig7_cpu_usage(benchmark):
+    run_report(benchmark, fig7.run_cpu_usage, min_fraction=0.75)

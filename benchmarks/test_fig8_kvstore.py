@@ -1,0 +1,9 @@
+"""Figure 8: key-value store YCSB throughput."""
+
+from repro.bench import fig8
+
+from conftest import run_report
+
+
+def test_fig8_kvstore_ycsb(benchmark):
+    run_report(benchmark, fig8.run, min_fraction=0.7, duration=2.0e-3)

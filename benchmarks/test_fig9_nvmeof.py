@@ -1,0 +1,9 @@
+"""Figure 9: NVMe-oF P50/P99 latency over iodepth."""
+
+from repro.bench import fig9
+
+from conftest import run_report
+
+
+def test_fig9_nvmeof_latency(benchmark):
+    run_report(benchmark, fig9.run, min_fraction=0.7, duration=5e-3)

@@ -1,0 +1,9 @@
+"""Table 1: the design-space property matrix."""
+
+from repro.bench import table1
+
+from conftest import run_report
+
+
+def test_table1_design_space(benchmark):
+    run_report(benchmark, table1.run)

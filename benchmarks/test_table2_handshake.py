@@ -1,0 +1,9 @@
+"""Table 2: TLS 1.3 handshake latency breakdown (ECDSA and RSA columns)."""
+
+from repro.bench import table2
+
+from conftest import run_report
+
+
+def test_table2_handshake_breakdown(benchmark):
+    run_report(benchmark, table2.run)

@@ -1,0 +1,14 @@
+"""Ensure ``src`` is importable even without an installed package.
+
+The benchmark container is offline and cannot build editable wheels, so
+tests fall back to a plain path insertion when ``repro`` is not already
+installed (``python setup.py develop`` is the supported install there).
+"""
+
+import os
+import sys
+
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))

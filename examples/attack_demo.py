@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Security demo: SMT under replay, injection and tampering (paper §6).
+
+An on-path attacker captures, replays and mutates packets between the two
+hosts.  Every attack is detected or silently neutralised:
+
+- a replayed message ID is discarded without decryption (§6.1),
+- a bit-flipped record fails AEAD authentication,
+- a forged message with a fresh ID dies at decryption (like TLS/TCP
+  rejecting an altered-but-TCP-correct segment).
+
+Run:  python examples/attack_demo.py
+"""
+
+from repro.core.codec import SmtCodec
+from repro.core.session import SmtSession
+from repro.errors import AuthenticationError
+from repro.homa import HomaSocket, HomaTransport
+from repro.net.headers import PROTO_SMT, PacketType
+from repro.net.packet import Packet
+from repro.testbed import Testbed
+from repro.tls.keyschedule import TrafficKeys
+
+PORT = 7000
+
+
+def main() -> None:
+    bed = Testbed.back_to_back()
+    ct = HomaTransport(bed.client, proto=PROTO_SMT)
+    st = HomaTransport(bed.server, proto=PROTO_SMT)
+    client_write = TrafficKeys(key=b"\x01" * 16, iv=b"\x02" * 12)
+    server_write = TrafficKeys(key=b"\x03" * 16, iv=b"\x04" * 12)
+    client_session = SmtSession(client_write, server_write)
+    server_session = SmtSession(server_write, client_write)
+    ccodec = SmtCodec(client_session, bed.client.costs)
+    scodec = SmtCodec(server_session, bed.server.costs)
+    csock = HomaSocket(ct, bed.client.alloc_port(), codec_provider=lambda a, p: ccodec)
+    ssock = HomaSocket(st, PORT, codec_provider=lambda a, p: scodec)
+
+    served = []
+
+    def server():
+        thread = bed.server.app_thread(0)
+        while True:
+            try:
+                rpc = yield from ssock.recv_request(thread)
+            except AuthenticationError as exc:
+                served.append(("REJECTED", str(exc)))
+                continue
+            served.append(("SERVED", rpc.payload[:20]))
+            yield from ssock.reply(thread, rpc, b"ok")
+
+    bed.loop.process(server())
+
+    # The attacker taps the client->server direction.
+    captured = []
+    deliver = bed.link._a_to_b.receiver
+
+    def tap(packet):
+        if packet.transport.pkt_type == PacketType.DATA:
+            captured.append(packet)
+        deliver(packet)
+
+    bed.link._a_to_b.receiver = tap
+
+    def client():
+        thread = bed.client.app_thread(0)
+        reply = yield from csock.call(thread, bed.server.addr, PORT,
+                                      b"transfer $1000 to alice")
+        assert reply == b"ok"
+
+    done = bed.loop.process(client())
+    bed.loop.run(until=0.1)
+    assert done.ok
+    print(f"legitimate RPC served: {served[-1]}")
+
+    # -- attack 1: wholesale replay of the captured message ----------------
+    for packet in captured:
+        deliver(packet)
+    bed.loop.run(until=bed.loop.now + 1e-3)
+    replays = st.spurious_ignored + server_session.replays_rejected
+    print(f"replay attack: {replays} duplicate deliveries dropped, "
+          f"requests served stays at {len([s for s in served if s[0] == 'SERVED'])}")
+
+    # -- attack 2: bit-flip in flight ---------------------------------------
+    victim = captured[0]
+    mutated = bytearray(victim.payload)
+    mutated[10] ^= 0x01
+    # Give it a fresh message ID so the replay filter does not mask the
+    # AEAD check (the attacker forges a "new" message from old bytes).
+    forged_header = victim.transport.with_fields(msg_id=victim.transport.msg_id + 100)
+    deliver(Packet(victim.ip, forged_header, bytes(mutated), dict(victim.meta)))
+    bed.loop.run(until=bed.loop.now + 1e-3)
+    rejected = [s for s in served if s[0] == "REJECTED"]
+    print(f"tamper/injection attack: {len(rejected)} message(s) failed "
+          "authentication at the receiver")
+
+    assert replays >= 1
+    assert len(rejected) >= 1
+    print("OK: replay and injection both defeated (paper §6.1).")
+
+
+if __name__ == "__main__":
+    main()

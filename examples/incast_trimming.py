@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Incast over a switch: packet trimming keeps SMT fast (paper §7).
+
+Six clients simultaneously push 40 KB encrypted messages at one server
+through a switch with a small buffer.  Without trimming, overflow packets
+vanish and senders discover losses by timeout; with NDP-style trimming the
+switch forwards the headers of overflowing packets at top priority -- and
+because SMT keeps transport metadata in plaintext, the receiver can
+re-request exactly the missing data immediately.
+
+Run:  python examples/incast_trimming.py
+"""
+
+import sys
+
+sys.path.insert(0, "tests")
+
+from core.test_incast import build_star  # reuse the incast harness
+from repro.net.headers import PROTO_SMT
+from repro.units import KB
+
+
+def run(trimming: bool) -> tuple[float, dict, int]:
+    bed, ssock, socks = build_star(6, trimming=trimming, encrypted=True,
+                                   buffer_bytes=32 * 1024)
+    done_at: dict[int, float] = {}
+
+    def sender(i, sock):
+        thread = bed.clients[i].app_thread(0)
+        response = yield from sock.call(
+            thread, bed.server.addr, 7000, bytes([i]) * (40 * KB)
+        )
+        assert response == b"ok"
+        done_at[i] = bed.loop.now
+
+    for i, sock in enumerate(socks):
+        bed.loop.process(sender(i, sock))
+    bed.loop.run(until=2.0)
+    assert len(done_at) == 6, "incast did not complete"
+    stats = bed.fabric.switch.stats(bed.server.addr)
+    resends = bed.server._transports[PROTO_SMT].resend_requests
+    return max(done_at.values()), stats, resends
+
+
+def main() -> None:
+    for trimming in (False, True):
+        completion, stats, resends = run(trimming)
+        label = "trimming ON " if trimming else "trimming OFF"
+        print(
+            f"{label}: all 6x40KB encrypted messages done in "
+            f"{completion * 1e3:.2f} ms  "
+            f"(dropped={stats['dropped']}, trimmed={stats['trimmed']}, "
+            f"resend requests={resends})"
+        )
+    print("\nTrimming turns silent drops into instant, targeted resend")
+    print("requests -- possible for SMT because message ID / length / offset")
+    print("stay in plaintext even though every payload byte is encrypted.")
+
+
+if __name__ == "__main__":
+    main()

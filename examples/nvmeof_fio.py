@@ -1,0 +1,30 @@
+#!/usr/bin/env python3
+"""Remote block storage (NVMe-oF) over SMT, FIO-style (paper §5.4).
+
+A target host exposes a simulated NVMe SSD; the client issues 4 KB random
+reads at increasing iodepth and prints the P50/P99 latency curve -- a
+miniature of the paper's Figure 9.
+
+Run:  python examples/nvmeof_fio.py
+"""
+
+from repro.bench.fig9 import run_point
+from repro.bench.report import format_table
+
+
+def main() -> None:
+    rows = []
+    for iodepth in (1, 4, 16, 32):
+        for system in ("ktls-sw", "smt-sw"):
+            point = run_point(system, iodepth, duration=4e-3)
+            rows.append((system, iodepth, round(point.p50_us, 1),
+                         round(point.p99_us, 1), round(point.iops / 1e3, 1)))
+    print("4 KB random reads from a remote NVMe device:")
+    print(format_table(["system", "iodepth", "P50 (us)", "P99 (us)", "kIOPS"], rows))
+    print("\nAt iodepth 1 the flash dominates (no transport difference);")
+    print("deeper queues expose the target's per-command CPU cost, where")
+    print("SMT's cheaper stack trims the tail (paper: up to 21% at P99).")
+
+
+if __name__ == "__main__":
+    main()

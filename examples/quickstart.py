@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Quickstart: a secure RPC over SMT, end to end.
+
+Builds the paper's testbed (two hosts, 100 Gb/s back-to-back), establishes
+an SMT session with a real TLS 1.3 handshake over the simulated transport,
+and exchanges encrypted RPCs -- demonstrating that the bytes on the wire
+are ciphertext while transport metadata stays readable.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro.core.endpoint import SmtEndpoint
+from repro.crypto import CertificateAuthority, EcdsaKeyPair
+from repro.net.headers import PacketType
+from repro.testbed import Testbed
+from repro.tls.handshake import HandshakeConfig, ServerCredentials
+
+SERVER_PORT = 7000
+
+
+def main() -> None:
+    # --- the datacenter: two machines, one 100 Gb/s link ------------------
+    bed = Testbed.back_to_back()
+
+    # --- a PKI: the datacenter's internal CA ------------------------------
+    rng = random.Random(7)
+    ca = CertificateAuthority("dc-root-ca", rng)
+    server_key = EcdsaKeyPair.generate(rng)
+    server_cert = ca.issue("storage.dc.internal", "ecdsa-p256",
+                           server_key.public_bytes())
+    credentials = ServerCredentials(chain=ca.chain_for(server_cert),
+                                    signing_key=server_key)
+    trust_roots = (ca.certificate,)
+
+    # --- SMT endpoints (offload on: the NIC encrypts transmit records) ----
+    client = SmtEndpoint(bed.client, bed.client.alloc_port(), offload=True)
+    server = SmtEndpoint(bed.server, SERVER_PORT, offload=True)
+
+    # The server answers TLS 1.3 handshakes on the well-known port.
+    server.listen(
+        bed.server.app_thread(0),
+        credentials,
+        lambda: HandshakeConfig(rng=random.Random(8), trust_roots=trust_roots),
+        issue_tickets=1,
+    )
+
+    # An echo service on the SMT data socket.
+    def echo_service():
+        thread = bed.server.app_thread(1)
+        while True:
+            rpc = yield from server.socket.recv_request(thread)
+            yield from server.socket.reply(thread, rpc, b"echo: " + rpc.payload)
+
+    bed.loop.process(echo_service())
+
+    # Watch the wire to prove confidentiality.
+    sniffed: list[bytes] = []
+    deliver = bed.link._a_to_b.receiver
+
+    def sniffer(packet):
+        if packet.transport.pkt_type == PacketType.DATA:
+            sniffed.append(bytes(packet.payload))
+        deliver(packet)
+
+    bed.link._a_to_b.receiver = sniffer
+
+    results = {}
+
+    def client_app():
+        thread = bed.client.app_thread(0)
+        handshake = yield from client.connect(
+            thread, bed.server.addr, SERVER_PORT,
+            HandshakeConfig(rng=random.Random(9),
+                            server_name="storage.dc.internal",
+                            trust_roots=trust_roots),
+        )
+        results["handshake_us"] = handshake.setup_latency * 1e6
+        t0 = bed.loop.now
+        reply = yield from client.socket.call(
+            thread, bed.server.addr, SERVER_PORT, b"TOP-SECRET payload"
+        )
+        results["rtt_us"] = (bed.loop.now - t0) * 1e6
+        results["reply"] = reply
+
+    done = bed.loop.process(client_app())
+    bed.loop.run(until=1.0)
+    assert done.triggered and done.ok, getattr(done, "value", "deadlock")
+
+    wire = b"".join(sniffed)
+    print(f"handshake completed in {results['handshake_us']:.0f} us (virtual)")
+    print(f"encrypted RPC round trip: {results['rtt_us']:.1f} us (virtual)")
+    print(f"server replied: {results['reply'].decode()}")
+    print(f"plaintext visible on the wire: {b'TOP-SECRET' in wire}")
+    print(f"NIC-encrypted records: {bed.client.nic.records_offloaded}")
+    assert b"TOP-SECRET" not in wire, "payload leaked!"
+    assert results["reply"] == b"echo: TOP-SECRET payload"
+    print("OK: encrypted message transport over the simulated datacenter.")
+
+
+if __name__ == "__main__":
+    main()

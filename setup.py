@@ -1,0 +1,10 @@
+"""Setup shim for environments without PEP 517 build isolation.
+
+``pip install -e .`` in the offline benchmark container has no access to
+the ``wheel`` package, so the legacy ``setup.py develop`` path is kept
+working; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

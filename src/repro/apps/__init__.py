@@ -1,0 +1,9 @@
+"""Applications used by the paper's evaluation.
+
+- :mod:`repro.apps.rpc` -- request/response framing over bytestreams and
+  the RPC echo workload of §5.1/§5.2.
+- :mod:`repro.apps.kvstore` + :mod:`repro.apps.ycsb` -- the Redis-style
+  key-value store and YCSB workloads of §5.3.
+- :mod:`repro.apps.nvmeof` + :mod:`repro.apps.fio` -- the remote block
+  storage target and FIO-style driver of §5.4.
+"""

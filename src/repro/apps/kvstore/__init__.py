@@ -1,0 +1,21 @@
+"""A Redis-style in-memory key-value store (paper §5.3).
+
+Single-threaded server with an epoll event loop, a binary GET/SET
+protocol, and ports to every transport the paper compares: TCP, user-space
+TLS, kTLS (SW/HW), Homa and SMT (SW/HW).
+"""
+
+from repro.apps.kvstore.protocol import encode_get, encode_set, decode_command, encode_reply, decode_reply
+from repro.apps.kvstore.store import KVStore
+from repro.apps.kvstore.server import MessageKvServer, StreamKvServer
+
+__all__ = [
+    "encode_get",
+    "encode_set",
+    "decode_command",
+    "encode_reply",
+    "decode_reply",
+    "KVStore",
+    "MessageKvServer",
+    "StreamKvServer",
+]

@@ -1,0 +1,59 @@
+"""Binary key-value protocol (a RESP stand-in).
+
+Command: op (1) || key length (2) || key || value length (4) || value.
+Reply:   status (1) || value length (4) || value.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import ProtocolError
+
+OP_GET = 1
+OP_SET = 2
+
+STATUS_OK = 0
+STATUS_NOT_FOUND = 1
+
+_CMD_HEAD = struct.Struct("!BH")
+_VAL_HEAD = struct.Struct("!I")
+_REPLY_HEAD = struct.Struct("!BI")
+
+
+def encode_get(key: bytes) -> bytes:
+    return _CMD_HEAD.pack(OP_GET, len(key)) + key + _VAL_HEAD.pack(0)
+
+
+def encode_set(key: bytes, value: bytes) -> bytes:
+    return _CMD_HEAD.pack(OP_SET, len(key)) + key + _VAL_HEAD.pack(len(value)) + value
+
+
+def decode_command(data: bytes) -> tuple[int, bytes, bytes]:
+    """(op, key, value); value is empty for GET."""
+    if len(data) < _CMD_HEAD.size:
+        raise ProtocolError("short kv command")
+    op, key_len = _CMD_HEAD.unpack_from(data)
+    off = _CMD_HEAD.size
+    key = data[off : off + key_len]
+    off += key_len
+    (value_len,) = _VAL_HEAD.unpack_from(data, off)
+    off += _VAL_HEAD.size
+    value = data[off : off + value_len]
+    if len(key) != key_len or len(value) != value_len:
+        raise ProtocolError("truncated kv command")
+    return op, key, value
+
+
+def encode_reply(status: int, value: bytes = b"") -> bytes:
+    return _REPLY_HEAD.pack(status, len(value)) + value
+
+
+def decode_reply(data: bytes) -> tuple[int, bytes]:
+    if len(data) < _REPLY_HEAD.size:
+        raise ProtocolError("short kv reply")
+    status, value_len = _REPLY_HEAD.unpack_from(data)
+    value = data[_REPLY_HEAD.size : _REPLY_HEAD.size + value_len]
+    if len(value) != value_len:
+        raise ProtocolError("truncated kv reply")
+    return status, value

@@ -1,0 +1,22 @@
+"""NVMe over Fabrics: remote block storage (paper §5.4).
+
+A target host exposes an NVMe SSD model over the network; an in-kernel
+initiator on the client submits 4 KB random reads at a configurable
+iodepth, FIO-style.  The device's own latency dominates at low iodepth --
+which is why the paper sees no transport advantage there -- while
+transport CPU costs shape the tail as iodepth grows.
+"""
+
+from repro.apps.nvmeof.device import NvmeDevice
+from repro.apps.nvmeof.target import MessageNvmeTarget, StreamNvmeTarget
+from repro.apps.nvmeof.protocol import encode_read_cmd, decode_read_cmd, encode_completion, decode_completion
+
+__all__ = [
+    "NvmeDevice",
+    "MessageNvmeTarget",
+    "StreamNvmeTarget",
+    "encode_read_cmd",
+    "decode_read_cmd",
+    "encode_completion",
+    "decode_completion",
+]

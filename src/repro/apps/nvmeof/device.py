@@ -1,0 +1,55 @@
+"""The NVMe SSD model.
+
+A flash device with internal channel parallelism: reads queue onto one of
+``channels`` independent units; service time is a base flash-read latency
+plus an exponential tail (read disturb, retries, FTL work).  Defaults
+approximate a datacenter NVMe drive: ~80 us median 4 KB random read.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Generator
+
+from repro.errors import ReproError
+from repro.sim.event_loop import EventLoop
+from repro.sim.resources import Resource
+from repro.units import KB, USEC
+
+BLOCK_SIZE = 4 * KB
+
+
+class NvmeDevice:
+    """A block device with parallel channels and realistic read latency."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        rng: random.Random,
+        num_blocks: int = 1 << 20,
+        channels: int = 8,
+        base_read_latency: float = 72 * USEC,
+        tail_scale: float = 9 * USEC,
+    ):
+        self.loop = loop
+        self.rng = rng
+        self.num_blocks = num_blocks
+        self.base_read_latency = base_read_latency
+        self.tail_scale = tail_scale
+        self._channels = [
+            Resource(loop, 1, f"nvme.ch{i}") for i in range(channels)
+        ]
+        self.reads = 0
+
+    def _service_time(self) -> float:
+        return self.base_read_latency + self.rng.expovariate(1.0 / self.tail_scale)
+
+    def read_block(self, lba: int) -> Generator[Any, Any, bytes]:
+        """Read one 4 KB block; yields until the flash returns the data."""
+        if not 0 <= lba < self.num_blocks:
+            raise ReproError(f"LBA {lba} out of range")
+        channel = self._channels[lba % len(self._channels)]
+        yield from channel.service(self._service_time())
+        self.reads += 1
+        # Deterministic content so tests can verify end-to-end integrity.
+        return (lba & 0xFF).to_bytes(1, "big") * BLOCK_SIZE

@@ -1,0 +1,13 @@
+"""Benchmark harnesses: one module per table/figure of the paper.
+
+Every module exposes ``run(...)`` returning a structured result and a
+``main()``-style formatter that prints the same rows/series the paper
+reports.  The pytest-benchmark files under ``benchmarks/`` drive these and
+check the paper's comparative claims (who wins, by what factor) as
+recorded in EXPERIMENTS.md.
+
+Simulated durations are short (milliseconds of virtual time) because the
+closed-loop experiments converge quickly; the bulk data path uses the
+``fast`` AEAD so host wall-clock time stays in seconds, while virtual-time
+costs are always charged as AES-128-GCM (see repro.crypto.aead).
+"""

@@ -1,0 +1,83 @@
+"""Run reproduction benchmarks from the command line.
+
+Usage::
+
+    python -m repro.bench              # every table and figure
+    python -m repro.bench fig6 fig7    # a subset
+    python -m repro.bench --list
+
+Each benchmark prints the regenerated table plus its paper-band checks;
+the exit code is non-zero if any check lands outside its band.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench import (
+    ablations,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    table1,
+    table2,
+)
+
+EXPERIMENTS = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "fig7-mtu": fig7.run_mtu_comparison,
+    "fig7-cpu": fig7.run_cpu_usage,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+    "fig10": fig10.run,
+    "fig11": fig11.run,
+    "fig12": fig12.run,
+    "ablation-contexts": ablations.run_flow_context_ablation,
+    "ablation-acks": ablations.run_ack_batching_ablation,
+    "ablation-bits": ablations.run_bit_split_ablation,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment names (default: all)")
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    args = parser.parse_args(argv)
+    if args.list:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    names = args.experiments or list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {', '.join(unknown)}")
+    misses = 0
+    for name in names:
+        start = time.time()
+        report = EXPERIMENTS[name]()
+        print(report.render())
+        print(f"({name}: {time.time() - start:.1f}s wall)\n")
+        misses += len(report.misses)
+    if misses:
+        print(f"{misses} band check(s) out of range", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

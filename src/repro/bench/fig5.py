@@ -1,0 +1,45 @@
+"""Figure 5: message-size vs message-ID trade-off of the 64-bit split."""
+
+from __future__ import annotations
+
+from repro.bench.report import ExperimentReport
+from repro.core.seqspace import BitAllocation, tradeoff_curve
+from repro.tls.constants import MAX_RECORD_PAYLOAD
+from repro.units import GB, MB
+
+
+def run() -> ExperimentReport:
+    report = ExperimentReport("Figure 5: composite seqno bit-allocation trade-off")
+    rows = []
+    for record_payload, label in ((1536, "1.5KB records"), (MAX_RECORD_PAYLOAD, "16KB records")):
+        for bits in (32, 40, 44, 48, 52, 56):
+            alloc = BitAllocation(bits)
+            rows.append(
+                (
+                    label,
+                    bits,
+                    f"2^{bits}",
+                    f"{alloc.max_message_size(record_payload) / MB:.1f} MB",
+                )
+            )
+    report.add_table(["records", "msg-id bits", "max msg IDs", "max msg size"], rows)
+
+    default = BitAllocation(48)
+    # Paper §4.4.1: 48/16 split -> 65K records, ~98 MB @1.5KB, ~1 GB @16KB.
+    report.check("records per message (48-bit IDs)", default.max_records_per_message,
+                 65536, 65536)
+    report.check("max size @1.5KB records (MB)",
+                 default.max_message_size(1536) / MB, 90, 110)
+    report.check("max size @16KB records (GB)",
+                 default.max_message_size() / GB, 0.9, 1.1)
+    # The curve is monotone in both directions.
+    curve = tradeoff_curve(MAX_RECORD_PAYLOAD)
+    ids = [r[1] for r in curve]
+    sizes = [r[2] for r in curve]
+    report.check("IDs monotonically increase", float(ids == sorted(ids)), 1, 1)
+    report.check("sizes monotonically decrease",
+                 float(sizes == sorted(sizes, reverse=True)), 1, 1)
+    # Homa's 1 MB default message always fits with plenty of headroom.
+    report.check("Homa 1MB default fits @1.5KB records",
+                 float(default.max_message_size(1536) > 1 * MB), 1, 1)
+    return report

@@ -1,0 +1,78 @@
+"""Figure 6: unloaded RTT of various-sized RPCs (paper §5.1).
+
+Single ping-pong RPC per system and size, no concurrency.  Bands: SMT
+beats kTLS by 13-32 % (offload) / 10-35 % (software); Homa beats TCP by
+5-35 %; hardware offload helps SMT by at most ~7 %; the Homa-vs-TCP margin
+shrinks at large sizes (full-message delivery, §5.1).
+"""
+
+from __future__ import annotations
+
+from repro.bench.report import ExperimentReport, latency_reduction
+from repro.bench.runner import unloaded_rtt
+
+SIZES = (64, 1024, 8192, 65536)
+SYSTEMS = ("tcp", "ktls-sw", "ktls-hw", "homa", "smt-sw", "smt-hw")
+
+
+def run(sizes=SIZES, repetitions: int = 25) -> ExperimentReport:
+    report = ExperimentReport("Figure 6: unloaded RTT (us)")
+    rtt: dict[tuple[str, int], float] = {}
+    for system in SYSTEMS:
+        for size in sizes:
+            rtt[(system, size)] = unloaded_rtt(system, size, repetitions).mean_us
+    report.add_table(
+        ["system"] + [f"{s}B" for s in sizes],
+        [[system] + [round(rtt[(system, s)], 1) for s in sizes] for system in SYSTEMS],
+    )
+
+    small = [s for s in sizes if s <= 1024]
+    for size in small:
+        report.check(
+            f"Homa faster than TCP @{size}B (%)",
+            latency_reduction(rtt[("tcp", size)], rtt[("homa", size)]),
+            5, 35,
+        )
+        report.check(
+            f"SMT-SW faster than kTLS-SW @{size}B (%)",
+            latency_reduction(rtt[("ktls-sw", size)], rtt[("smt-sw", size)]),
+            10, 35,
+        )
+        report.check(
+            f"SMT-HW faster than kTLS-HW @{size}B (%)",
+            latency_reduction(rtt[("ktls-hw", size)], rtt[("smt-hw", size)]),
+            13, 32,
+        )
+        report.check(
+            f"HW offload benefit @{size}B (%)",
+            latency_reduction(rtt[("smt-sw", size)], rtt[("smt-hw", size)]),
+            0, 7, slack=0.3,
+        )
+    if 65536 in sizes:
+        report.check(
+            "SMT-SW faster than kTLS-SW @64KB (%)",
+            latency_reduction(rtt[("ktls-sw", 65536)], rtt[("smt-sw", 65536)]),
+            10, 35,
+        )
+        report.check(
+            "SMT-HW faster than kTLS-HW @64KB (%)",
+            latency_reduction(rtt[("ktls-hw", 65536)], rtt[("smt-hw", 65536)]),
+            13, 32,
+        )
+        report.check(
+            "Homa faster than TCP @64KB (%)",
+            latency_reduction(rtt[("tcp", 65536)], rtt[("homa", 65536)]),
+            5, 35,
+        )
+        # The Homa advantage at large sizes is below its small-RPC peak
+        # (the paper's margin-shrinks observation; our minimum lands at
+        # the mid sizes rather than exactly 65KB -- see EXPERIMENTS.md).
+        mid_margin = min(
+            latency_reduction(rtt[("tcp", s)], rtt[("homa", s)]) for s in sizes if s > 1024
+        )
+        small_margin = latency_reduction(rtt[("tcp", 64)], rtt[("homa", 64)])
+        report.check(
+            "large-RPC margin below small-RPC margin",
+            float(mid_margin < small_margin), 1, 1,
+        )
+    return report

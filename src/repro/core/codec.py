@@ -1,0 +1,212 @@
+"""The SMT message codec: encryption between message and wire.
+
+Plugs into the Homa engine (:mod:`repro.homa.engine`) as the codec for
+protocol number 147.  Encode turns an application payload into TLS records
+packed into TSO segments under the composite sequence-number space; decode
+reverses it, authenticating every record.  In offload mode, encode emits
+plaintext-layout segments plus NIC record descriptors instead of sealing
+on the CPU (paper §4.4.2), and resync descriptors are decided at post time
+by the session's per-queue context shadow.
+"""
+
+from __future__ import annotations
+
+
+from repro.core.framing import plan_message, segment_capacity
+from repro.core.session import SmtSession
+from repro.errors import ProtocolError
+from repro.homa.codec import DecodedMessage, EncodedMessage, SegmentPlan
+from repro.host.costs import CostModel
+from repro.net.headers import PROTO_SMT
+from repro.nic.tls_offload import ResyncDescriptor, TlsOffloadDescriptor
+from repro.tls.constants import (
+    CONTENT_APPLICATION_DATA,
+    MAX_RECORD_PAYLOAD,
+    RECORD_HEADER_SIZE,
+    TAG_SIZE,
+)
+from repro.tls.record import encode_record_header, parse_record_header
+
+
+class SmtCodec:
+    """MessageCodec implementation for one SMT session."""
+
+    def __init__(
+        self,
+        session: SmtSession,
+        costs: CostModel,
+        num_nic_queues: int = 4,
+        max_record_payload: int = MAX_RECORD_PAYLOAD,
+        proto: int = PROTO_SMT,
+        packets_per_segment: int = 0,
+        context_per_message: bool = False,
+        pad_to: int = 0,
+    ):
+        self.session = session
+        self.costs = costs
+        self.num_nic_queues = num_nic_queues
+        self.max_record_payload = max_record_payload
+        self.proto = proto
+        self.packets_per_segment = packets_per_segment
+        # Ablation knob: allocate a fresh NIC flow context per message
+        # instead of reusing one per queue with resyncs (paper §4.4.2).
+        self.context_per_message = context_per_message
+        # Length concealment (paper §6.1): pad every message up to a
+        # multiple of ``pad_to`` bytes before encryption, so the plaintext
+        # msg_len field only reveals the padded bucket.  The true length
+        # rides encrypted inside the message and "the receiver can
+        # identify the padding length at the time of decryption".
+        self.pad_to = pad_to
+        self.records_sealed = 0
+        self.records_opened = 0
+        self.auth_failures = 0
+
+    # -- MessageCodec interface -----------------------------------------------
+
+    def segment_capacity(self, mss: int) -> int:
+        return segment_capacity(mss, self.packets_per_segment)
+
+    def max_message_ids(self) -> int:
+        return self.session.allocation.max_message_ids
+
+    def accept_message(self, msg_id: int) -> bool:
+        return self.session.accept_message(msg_id)
+
+    def _pad(self, payload: bytes) -> bytes:
+        """Wrap payload as ``true_len || payload || zeros`` up to the bucket."""
+        if not self.pad_to:
+            return payload
+        inner = len(payload).to_bytes(4, "big") + payload
+        padded_len = -(-len(inner) // self.pad_to) * self.pad_to
+        return inner + bytes(padded_len - len(inner))
+
+    def _unpad(self, payload: bytes) -> bytes:
+        if not self.pad_to:
+            return payload
+        true_len = int.from_bytes(payload[:4], "big")
+        if 4 + true_len > len(payload):
+            raise ProtocolError("padding frame shorter than its length field")
+        return payload[4 : 4 + true_len]
+
+    def encode(self, msg_id: int, payload: bytes, mss: int) -> EncodedMessage:
+        payload = self._pad(payload)
+        frame = plan_message(
+            len(payload), mss, self.max_record_payload, self.packets_per_segment
+        )
+        alloc = self.session.allocation
+        plans: list[SegmentPlan] = []
+        cpu = 0.0
+        offload = self.session.offload
+        queue = (msg_id >> 1) % self.num_nic_queues if offload else None
+        for seg in frame.segments:
+            chunks: list[bytes] = []
+            descriptors = []
+            for rec in seg.records:
+                seqno = alloc.encode(msg_id, rec.index)
+                plaintext = payload[
+                    rec.plaintext_offset : rec.plaintext_offset + rec.plaintext_len
+                ]
+                cpu += self.costs.smt_frame_per_record
+                if offload:
+                    # Plaintext layout the NIC encrypts in place: header,
+                    # plaintext, content-type placeholder, zero tag.
+                    chunks.append(
+                        encode_record_header(rec.plaintext_len + 1 + TAG_SIZE)
+                        + plaintext
+                        + bytes(1 + TAG_SIZE)
+                    )
+                    descriptors.append(
+                        self.session.record_descriptor(
+                            rec.segment_offset, rec.plaintext_len, seqno
+                        )
+                    )
+                else:
+                    chunks.append(
+                        self.session.write_protection.seal(
+                            plaintext, CONTENT_APPLICATION_DATA, seqno=seqno
+                        )
+                    )
+                    cpu += self.costs.crypto_cost(rec.plaintext_len)
+                self.records_sealed += 1
+            if offload:
+                context_key = (
+                    self.session.message_context_key(queue, msg_id)
+                    if self.context_per_message
+                    else self.session.context_key(queue)
+                )
+                tls = TlsOffloadDescriptor(context_key, descriptors)
+            else:
+                tls = None
+            seg_payload = b"".join(chunks)
+            if len(seg_payload) != seg.wire_len:
+                raise ProtocolError("framing plan and wire bytes disagree")
+            plans.append(SegmentPlan(seg.tso_offset, seg_payload, tls=tls))
+        return EncodedMessage(
+            wire_len=frame.wire_len,
+            plans=plans,
+            tx_cpu_cost=cpu,
+            nic_queue=queue,
+        )
+
+    def decode(self, msg_id: int, wire: bytes) -> DecodedMessage:
+        """Decrypt and authenticate all records of a reassembled message."""
+        alloc = self.session.allocation
+        out: list[bytes] = []
+        cpu = self.costs.smt_session_lookup
+        off = 0
+        index = 0
+        while off < len(wire):
+            _outer, ct_len = parse_record_header(wire[off:])
+            end = off + RECORD_HEADER_SIZE + ct_len
+            if end > len(wire):
+                raise ProtocolError("truncated record in reassembled message")
+            seqno = alloc.encode(msg_id, index)
+            try:
+                record = self.session.read_protection.open(wire[off:end], seqno=seqno)
+            except Exception:
+                self.auth_failures += 1
+                raise
+            out.append(record.payload)
+            cpu += self.costs.record_parse + self.costs.crypto_cost(len(record.payload))
+            self.records_opened += 1
+            index += 1
+            off = end
+        return DecodedMessage(payload=self._unpad(b"".join(out)), rx_cpu_cost=cpu)
+
+    def segment_pre_descriptors(self, plan: SegmentPlan, queue: int) -> list[ResyncDescriptor]:
+        """Post-time resync decision (engine hook)."""
+        if plan.tls is None or not plan.tls.records:
+            return []
+        if self.context_per_message:
+            # Fresh context per message: install on first use, no resyncs
+            # (the hardware adopts the first seqno it sees).
+            _sid, queue_id, msg_id = plan.tls.context_key
+            self.session.ensure_message_context(queue_id, msg_id)
+            return []
+        first = plan.tls.records[0].seqno
+        return self.session.pre_descriptors(queue, first, len(plan.tls.records))
+
+    def reseal_range(self, encoded: EncodedMessage, tso_offset: int) -> bytes:
+        """Wire bytes for retransmitting one segment.
+
+        Software mode returns the cached ciphertext.  Offload mode re-seals
+        in software: per-packet retransmissions cannot ride the
+        record-granular NIC engine, so the stack falls back to CPU crypto
+        (the ciphertext is identical -- same key, same nonce).
+        """
+        for plan in encoded.plans:
+            if plan.tso_offset != tso_offset:
+                continue
+            if plan.tls is None:
+                return plan.payload
+            out = bytearray(plan.payload)
+            for rec in plan.tls.records:
+                start = rec.offset
+                header_end = start + RECORD_HEADER_SIZE
+                plaintext = bytes(out[header_end : header_end + rec.plaintext_len])
+                sealed = self.session.write_protection.seal(
+                    plaintext, rec.content_type, seqno=rec.seqno
+                )
+                out[start : start + len(sealed)] = sealed
+            return bytes(out)
+        raise ProtocolError(f"no segment at TSO offset {tso_offset}")

@@ -1,0 +1,141 @@
+"""Offload-friendly message framing (paper §4.3, Figure 3).
+
+A message becomes TLS records packed into TSO segments such that
+
+- records never straddle a TSO segment boundary ("SMT creates TLS
+  records ... to align with the boundaries of the TSO segments"),
+- every segment except the last has the same wire length (so the receiver
+  can derive segment boundaries, §2.2 "predictable"), and
+- record plaintext never exceeds 16 KB (TLS's cap).
+
+Each record costs ``RECORD_OVERHEAD`` wire bytes: a 5-byte record header,
+one inner content-type byte and a 16-byte AEAD tag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ProtocolError
+from repro.nic.tso import MAX_TSO_PAYLOAD
+from repro.tls.constants import MAX_RECORD_PAYLOAD, RECORD_OVERHEAD
+
+
+@dataclass(frozen=True)
+class RecordPlan:
+    """One record inside a segment."""
+
+    index: int  # intra-message record index (composite seqno low bits)
+    segment_offset: int  # wire offset within the segment
+    plaintext_offset: int  # offset of this record's plaintext in the message
+    plaintext_len: int
+
+    @property
+    def wire_len(self) -> int:
+        return self.plaintext_len + RECORD_OVERHEAD
+
+
+@dataclass(frozen=True)
+class SegmentFrame:
+    """One TSO segment worth of records."""
+
+    tso_offset: int  # wire offset of the segment within the message
+    wire_len: int
+    records: tuple[RecordPlan, ...]
+
+
+@dataclass(frozen=True)
+class FramePlan:
+    """The full framing of one message."""
+
+    payload_len: int
+    wire_len: int
+    segments: tuple[SegmentFrame, ...]
+
+    @property
+    def num_records(self) -> int:
+        return sum(len(s.records) for s in self.segments)
+
+
+def segment_capacity(mss: int, packets_per_segment: int = 0) -> int:
+    """Uniform wire bytes per segment: whole packets under the TSO limit.
+
+    ``packets_per_segment`` restricts the segment size for the paper's §7
+    segmentation modes: 2 for two-packet TSO (IPv6/GSO mode), 1 for TSO
+    off; 0 means full 64 KB TSO.
+    """
+    if mss <= RECORD_OVERHEAD:
+        raise ProtocolError(f"mss {mss} cannot carry a TLS record")
+    if packets_per_segment > 0:
+        return packets_per_segment * mss
+    return (MAX_TSO_PAYLOAD // mss) * mss
+
+
+def plan_message(
+    payload_len: int,
+    mss: int,
+    max_record_payload: int = MAX_RECORD_PAYLOAD,
+    packets_per_segment: int = 0,
+) -> FramePlan:
+    """Lay out ``payload_len`` plaintext bytes into records and segments."""
+    if payload_len <= 0:
+        raise ProtocolError("cannot frame an empty message")
+    cap = segment_capacity(mss, packets_per_segment)
+    segments: list[SegmentFrame] = []
+    records_total = 0
+    plain_done = 0
+    wire_done = 0
+    while plain_done < payload_len:
+        seg_records: list[RecordPlan] = []
+        seg_used = 0
+        # Pack records into this segment until its capacity or the message
+        # runs out.  A record needs at least 1 byte of plaintext.
+        while plain_done < payload_len and cap - seg_used > RECORD_OVERHEAD:
+            room = cap - seg_used - RECORD_OVERHEAD
+            take = min(room, max_record_payload, payload_len - plain_done)
+            seg_records.append(
+                RecordPlan(
+                    index=records_total,
+                    segment_offset=seg_used,
+                    plaintext_offset=plain_done,
+                    plaintext_len=take,
+                )
+            )
+            records_total += 1
+            seg_used += take + RECORD_OVERHEAD
+            plain_done += take
+        if not seg_records:
+            raise ProtocolError("segment capacity too small for any record")
+        # Mid-message segments must fill the capacity exactly (uniform
+        # boundaries).  If record-size limits left a sliver smaller than a
+        # record's overhead, shave bytes off the last record and emit one
+        # more small record so the segment still ends exactly at ``cap``.
+        gap = cap - seg_used
+        if plain_done < payload_len and 0 < gap <= RECORD_OVERHEAD:
+            shrink = RECORD_OVERHEAD + 1 - gap
+            last = seg_records[-1]
+            if last.plaintext_len <= shrink:
+                raise ProtocolError("cannot align records to segment boundary")
+            seg_records[-1] = RecordPlan(
+                last.index, last.segment_offset, last.plaintext_offset,
+                last.plaintext_len - shrink,
+            )
+            plain_done -= shrink
+            seg_used -= shrink
+            extra_take = min(cap - seg_used - RECORD_OVERHEAD, payload_len - plain_done)
+            seg_records.append(
+                RecordPlan(
+                    index=records_total,
+                    segment_offset=seg_used,
+                    plaintext_offset=plain_done,
+                    plaintext_len=extra_take,
+                )
+            )
+            records_total += 1
+            seg_used += extra_take + RECORD_OVERHEAD
+            plain_done += extra_take
+        segments.append(
+            SegmentFrame(tso_offset=wire_done, wire_len=seg_used, records=tuple(seg_records))
+        )
+        wire_done += seg_used
+    return FramePlan(payload_len=payload_len, wire_len=wire_done, segments=tuple(segments))

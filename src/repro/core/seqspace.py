@@ -1,0 +1,84 @@
+"""Composite 64-bit record sequence numbers (paper §4.4.1, Figures 4-5).
+
+The TLS record sequence number is the only free variable available to
+encode both a session-unique message ID and the record's index within the
+message.  :class:`BitAllocation` fixes the split (48/16 by default); the
+low bits hold the record index so the NIC's self-incrementing counter
+works unchanged across the records of one message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ProtocolError
+from repro.tls.constants import MAX_RECORD_PAYLOAD
+
+DEFAULT_MSG_ID_BITS = 48
+
+
+@dataclass(frozen=True)
+class CompositeSeqno:
+    """A decoded composite sequence number."""
+
+    msg_id: int
+    record_index: int
+
+
+@dataclass(frozen=True)
+class BitAllocation:
+    """How the 64 bits split between message ID and record index."""
+
+    msg_id_bits: int = DEFAULT_MSG_ID_BITS
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.msg_id_bits <= 63:
+            raise ProtocolError(f"msg_id_bits must be in [1, 63], got {self.msg_id_bits}")
+
+    @property
+    def record_index_bits(self) -> int:
+        return 64 - self.msg_id_bits
+
+    @property
+    def max_message_ids(self) -> int:
+        return 1 << self.msg_id_bits
+
+    @property
+    def max_records_per_message(self) -> int:
+        return 1 << self.record_index_bits
+
+    def max_message_size(self, record_payload: int = MAX_RECORD_PAYLOAD) -> int:
+        """Largest message supportable with records of ``record_payload``.
+
+        This is the Figure 5 trade-off: more ID bits, smaller messages.
+        """
+        return self.max_records_per_message * record_payload
+
+    def encode(self, msg_id: int, record_index: int) -> int:
+        if not 0 <= msg_id < self.max_message_ids:
+            raise ProtocolError(f"msg_id {msg_id} exceeds {self.msg_id_bits} bits")
+        if not 0 <= record_index < self.max_records_per_message:
+            raise ProtocolError(
+                f"record index {record_index} exceeds {self.record_index_bits} bits"
+            )
+        return (msg_id << self.record_index_bits) | record_index
+
+    def decode(self, seqno: int) -> CompositeSeqno:
+        if not 0 <= seqno < (1 << 64):
+            raise ProtocolError(f"seqno {seqno} out of 64-bit range")
+        return CompositeSeqno(
+            msg_id=seqno >> self.record_index_bits,
+            record_index=seqno & (self.max_records_per_message - 1),
+        )
+
+
+def tradeoff_curve(record_payload: int) -> list[tuple[int, int, int]]:
+    """(msg_id_bits, max message IDs, max message bytes) for every split.
+
+    The data behind Figure 5 for a given record size.
+    """
+    rows = []
+    for bits in range(1, 64):
+        alloc = BitAllocation(bits)
+        rows.append((bits, alloc.max_message_ids, alloc.max_message_size(record_payload)))
+    return rows

@@ -1,0 +1,46 @@
+"""From-scratch cryptography used by the TLS and SMT layers.
+
+Everything here is implemented in this repository (no external crypto
+libraries): AES-128/256 (numpy-vectorised for bulk throughput), AES-GCM
+with Shoup-table GHASH, HKDF/HMAC-SHA256, the secp256r1 group with ECDH and
+deterministic (RFC 6979) ECDSA, RSA with PKCS#1 v1.5 signatures, and a
+minimal certificate/CA system.
+
+These primitives are *functionally* real -- ciphertexts authenticate,
+signatures verify, tampering raises :class:`repro.errors.AuthenticationError`.
+Their *timing* inside simulations is charged from the calibrated cost model
+(`repro.host.costs`), never from Python wall time.
+"""
+
+from repro.crypto.aes import AES
+from repro.crypto.gcm import AesGcm
+from repro.crypto.aead import Aead, FastAead, new_aead
+from repro.crypto.kdf import hkdf_extract, hkdf_expand, hkdf_expand_label, hmac_sha256
+from repro.crypto.ec import P256, ECPoint
+from repro.crypto.ecdh import EcdhKeyPair
+from repro.crypto.ecdsa import EcdsaKeyPair, ecdsa_sign, ecdsa_verify
+from repro.crypto.rsa import RsaKeyPair
+from repro.crypto.cert import Certificate, CertificateChain
+from repro.crypto.ca import CertificateAuthority
+
+__all__ = [
+    "AES",
+    "AesGcm",
+    "Aead",
+    "FastAead",
+    "new_aead",
+    "hkdf_extract",
+    "hkdf_expand",
+    "hkdf_expand_label",
+    "hmac_sha256",
+    "P256",
+    "ECPoint",
+    "EcdhKeyPair",
+    "EcdsaKeyPair",
+    "ecdsa_sign",
+    "ecdsa_verify",
+    "RsaKeyPair",
+    "Certificate",
+    "CertificateChain",
+    "CertificateAuthority",
+]

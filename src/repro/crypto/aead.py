@@ -1,0 +1,113 @@
+"""AEAD interface and the fast simulation cipher.
+
+Transports talk to an :class:`Aead`: ``seal``/``open`` with a 96-bit nonce,
+16-byte tag and associated data -- exactly the shape of TLS 1.3's
+AES-128-GCM.  Two implementations:
+
+- :class:`repro.crypto.gcm.AesGcm` -- the real cipher, used by default and
+  in every security test.
+- :class:`FastAead` -- a stdlib-backed stand-in (SHAKE-256 keystream +
+  HMAC-SHA256 tag) with identical interface and security *semantics*
+  (tamper detection, nonce binding).  Long-running benchmarks may select it
+  so host wall-clock time stays reasonable; virtual-time costs are charged
+  identically for both because the cost model prices AES-128-GCM, not the
+  Python implementation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _hmac
+from typing import Protocol
+
+from repro.crypto.gcm import AesGcm
+from repro.errors import AuthenticationError, CryptoError
+
+
+class Aead(Protocol):
+    """Structural interface every AEAD in this package satisfies."""
+
+    nonce_size: int
+    tag_size: int
+    key_size: int
+
+    def seal(self, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
+        """Encrypt + authenticate, returning ciphertext || tag."""
+        ...
+
+    def open(self, nonce: bytes, ciphertext_and_tag: bytes, aad: bytes = b"") -> bytes:
+        """Authenticate + decrypt, raising AuthenticationError on tampering."""
+        ...
+
+
+class FastAead:
+    """Simulation AEAD: SHAKE-256 keystream, truncated HMAC-SHA256 tag.
+
+    Not a vetted cipher -- it exists so multi-gigabyte benchmark runs do not
+    spend wall-clock hours inside pure-Python AES.  It preserves everything
+    the experiments rely on: ciphertext differs from plaintext, any bit flip
+    in nonce/AAD/ciphertext fails authentication, same nonce+key gives the
+    same ciphertext.
+    """
+
+    nonce_size = 12
+    tag_size = 16
+
+    def __init__(self, key: bytes):
+        if len(key) not in (16, 32):
+            raise CryptoError(f"FastAead key must be 16 or 32 bytes, got {len(key)}")
+        self.key_size = len(key)
+        self._enc_key = hashlib.sha256(b"fastaead-enc" + key).digest()
+        self._mac_key = hashlib.sha256(b"fastaead-mac" + key).digest()
+
+    def _keystream(self, nonce: bytes, length: int) -> bytes:
+        return hashlib.shake_256(self._enc_key + nonce).digest(length)
+
+    def _tag(self, nonce: bytes, aad: bytes, ciphertext: bytes) -> bytes:
+        msg = (
+            nonce
+            + len(aad).to_bytes(8, "big")
+            + aad
+            + len(ciphertext).to_bytes(8, "big")
+            + ciphertext
+        )
+        return _hmac.digest(self._mac_key, msg, "sha256")[: self.tag_size]
+
+    def seal(self, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
+        if len(nonce) != self.nonce_size:
+            raise CryptoError(f"nonce must be {self.nonce_size} bytes")
+        ks = self._keystream(nonce, len(plaintext))
+        n = int.from_bytes(plaintext, "little") ^ int.from_bytes(ks, "little")
+        ciphertext = n.to_bytes(len(plaintext), "little")
+        return ciphertext + self._tag(nonce, aad, ciphertext)
+
+    def open(self, nonce: bytes, ciphertext_and_tag: bytes, aad: bytes = b"") -> bytes:
+        if len(nonce) != self.nonce_size:
+            raise CryptoError(f"nonce must be {self.nonce_size} bytes")
+        if len(ciphertext_and_tag) < self.tag_size:
+            raise AuthenticationError("ciphertext shorter than the tag")
+        ciphertext = ciphertext_and_tag[: -self.tag_size]
+        tag = ciphertext_and_tag[-self.tag_size :]
+        if not _hmac.compare_digest(tag, self._tag(nonce, aad, ciphertext)):
+            raise AuthenticationError("FastAead tag mismatch")
+        ks = self._keystream(nonce, len(ciphertext))
+        n = int.from_bytes(ciphertext, "little") ^ int.from_bytes(ks, "little")
+        return n.to_bytes(len(ciphertext), "little")
+
+
+_AEAD_KINDS = {
+    "aes-128-gcm": (AesGcm, 16),
+    "aes-256-gcm": (AesGcm, 32),
+    "fast": (FastAead, 16),
+}
+
+
+def new_aead(kind: str, key: bytes) -> Aead:
+    """Create an AEAD by name: ``aes-128-gcm``, ``aes-256-gcm`` or ``fast``."""
+    try:
+        cls, key_size = _AEAD_KINDS[kind]
+    except KeyError:
+        raise CryptoError(f"unknown AEAD kind {kind!r}") from None
+    if len(key) != key_size:
+        raise CryptoError(f"{kind} needs a {key_size}-byte key, got {len(key)}")
+    return cls(key)

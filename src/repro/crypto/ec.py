@@ -1,0 +1,165 @@
+"""The secp256r1 (NIST P-256) elliptic-curve group.
+
+Implements point addition/doubling in Jacobian coordinates, double-and-add
+scalar multiplication, on-curve validation, and SEC1 uncompressed point
+encoding.  This is the group behind the paper's key exchange (ECDH with
+secp256r1) and signatures (ECDSA with secp256r1), per §5.6.
+
+Performance note: pure-Python big-int arithmetic puts one scalar
+multiplication around a millisecond, which is fine for the handshake rates
+the benchmarks run at; virtual-time costs come from the cost model anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import CryptoError
+
+# secp256r1 domain parameters (SEC 2, version 2).
+P = 0xFFFFFFFF00000001000000000000000000000000FFFFFFFFFFFFFFFFFFFFFFFF
+A = P - 3
+B = 0x5AC635D8AA3A93E7B3EBBD55769886BC651D06B0CC53B0F63BCE3C3E27D2604B
+N = 0xFFFFFFFF00000000FFFFFFFFFFFFFFFFBCE6FAADA7179E84F3B9CAC2FC632551
+GX = 0x6B17D1F2E12C4247F8BCE6E563A440F277037D812DEB33A0F4A13945D898C296
+GY = 0x4FE342E2FE1A7F9B8EE7EB4A7C0F9E162BCE33576B315ECECBB6406837BF51F5
+
+
+@dataclass(frozen=True)
+class ECPoint:
+    """An affine point on P-256, or the point at infinity (x = y = None)."""
+
+    x: Optional[int]
+    y: Optional[int]
+
+    @property
+    def is_infinity(self) -> bool:
+        return self.x is None
+
+    def encode(self) -> bytes:
+        """SEC1 uncompressed encoding: 0x04 || X || Y (65 bytes)."""
+        if self.is_infinity:
+            raise CryptoError("cannot encode the point at infinity")
+        return b"\x04" + self.x.to_bytes(32, "big") + self.y.to_bytes(32, "big")
+
+    @staticmethod
+    def decode(data: bytes) -> "ECPoint":
+        """Parse SEC1 uncompressed encoding and validate on-curve."""
+        if len(data) != 65 or data[0] != 0x04:
+            raise CryptoError("expected 65-byte uncompressed point")
+        x = int.from_bytes(data[1:33], "big")
+        y = int.from_bytes(data[33:], "big")
+        point = ECPoint(x, y)
+        if not P256.is_on_curve(point):
+            raise CryptoError("point is not on secp256r1")
+        return point
+
+
+INFINITY = ECPoint(None, None)
+
+
+class _P256:
+    """Group operations.  Exposed as the module-level singleton ``P256``."""
+
+    p = P
+    n = N
+    generator = ECPoint(GX, GY)
+
+    @staticmethod
+    def is_on_curve(point: ECPoint) -> bool:
+        if point.is_infinity:
+            return True
+        x, y = point.x, point.y
+        if not (0 <= x < P and 0 <= y < P):
+            return False
+        return (y * y - (x * x * x + A * x + B)) % P == 0
+
+    # -- Jacobian arithmetic -------------------------------------------------
+    # (X, Y, Z) represents affine (X/Z^2, Y/Z^3); infinity is Z == 0.
+
+    @staticmethod
+    def _jacobian_double(x1: int, y1: int, z1: int) -> tuple[int, int, int]:
+        if not y1 or not z1:
+            return (0, 0, 0)
+        ysq = (y1 * y1) % P
+        s = (4 * x1 * ysq) % P
+        zsq = (z1 * z1) % P
+        # a = -3 special case: M = 3(X - Z^2)(X + Z^2)
+        m = (3 * (x1 - zsq) * (x1 + zsq)) % P
+        nx = (m * m - 2 * s) % P
+        ny = (m * (s - nx) - 8 * ysq * ysq) % P
+        nz = (2 * y1 * z1) % P
+        return (nx, ny, nz)
+
+    @staticmethod
+    def _jacobian_add(
+        x1: int, y1: int, z1: int, x2: int, y2: int, z2: int
+    ) -> tuple[int, int, int]:
+        if not z1:
+            return (x2, y2, z2)
+        if not z2:
+            return (x1, y1, z1)
+        z1sq = (z1 * z1) % P
+        z2sq = (z2 * z2) % P
+        u1 = (x1 * z2sq) % P
+        u2 = (x2 * z1sq) % P
+        s1 = (y1 * z2sq * z2) % P
+        s2 = (y2 * z1sq * z1) % P
+        if u1 == u2:
+            if s1 != s2:
+                return (0, 0, 0)  # P + (-P) = infinity
+            return _P256._jacobian_double(x1, y1, z1)
+        h = (u2 - u1) % P
+        r = (s2 - s1) % P
+        hsq = (h * h) % P
+        hcu = (hsq * h) % P
+        u1hsq = (u1 * hsq) % P
+        nx = (r * r - hcu - 2 * u1hsq) % P
+        ny = (r * (u1hsq - nx) - s1 * hcu) % P
+        nz = (h * z1 * z2) % P
+        return (nx, ny, nz)
+
+    @staticmethod
+    def _to_affine(x: int, y: int, z: int) -> ECPoint:
+        if not z:
+            return INFINITY
+        zinv = pow(z, P - 2, P)
+        zinv2 = (zinv * zinv) % P
+        return ECPoint((x * zinv2) % P, (y * zinv2 * zinv) % P)
+
+    # -- public operations -----------------------------------------------------
+
+    @classmethod
+    def add(cls, a: ECPoint, b: ECPoint) -> ECPoint:
+        ja = (a.x, a.y, 1) if not a.is_infinity else (0, 0, 0)
+        jb = (b.x, b.y, 1) if not b.is_infinity else (0, 0, 0)
+        return cls._to_affine(*cls._jacobian_add(*ja, *jb))
+
+    @classmethod
+    def scalar_mult(cls, k: int, point: Optional[ECPoint] = None) -> ECPoint:
+        """Compute k * point (default: the generator)."""
+        if point is None:
+            point = cls.generator
+        if point.is_infinity or k % N == 0:
+            return INFINITY
+        if not cls.is_on_curve(point):
+            raise CryptoError("scalar_mult on a point off the curve")
+        k %= N
+        rx, ry, rz = 0, 0, 0
+        qx, qy, qz = point.x, point.y, 1
+        while k:
+            if k & 1:
+                rx, ry, rz = cls._jacobian_add(rx, ry, rz, qx, qy, qz)
+            qx, qy, qz = cls._jacobian_double(qx, qy, qz)
+            k >>= 1
+        return cls._to_affine(rx, ry, rz)
+
+    @classmethod
+    def negate(cls, point: ECPoint) -> ECPoint:
+        if point.is_infinity:
+            return point
+        return ECPoint(point.x, (-point.y) % P)
+
+
+P256 = _P256()

@@ -1,0 +1,44 @@
+"""Ephemeral ECDH over secp256r1, as used by the TLS 1.3 handshake.
+
+Key pairs are generated from a caller-supplied ``random.Random`` so every
+simulation is reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.crypto.ec import ECPoint, N, P256
+from repro.errors import CryptoError
+
+
+@dataclass(frozen=True)
+class EcdhKeyPair:
+    """A P-256 key pair: ``private`` scalar and ``public`` point."""
+
+    private: int
+    public: ECPoint
+
+    @staticmethod
+    def generate(rng: random.Random) -> "EcdhKeyPair":
+        """Generate a fresh key pair from the given RNG."""
+        private = rng.randrange(1, N)
+        return EcdhKeyPair(private, P256.scalar_mult(private))
+
+    def shared_secret(self, peer_public: ECPoint) -> bytes:
+        """X coordinate of ``private * peer_public`` (32 bytes, RFC 8446 style).
+
+        Validates the peer point; an off-curve or infinity share is rejected
+        (invalid-curve attack defence).
+        """
+        if peer_public.is_infinity or not P256.is_on_curve(peer_public):
+            raise CryptoError("invalid peer ECDH share")
+        shared = P256.scalar_mult(self.private, peer_public)
+        if shared.is_infinity:
+            raise CryptoError("ECDH produced the point at infinity")
+        return shared.x.to_bytes(32, "big")
+
+    def public_bytes(self) -> bytes:
+        """SEC1 uncompressed public share for the wire."""
+        return self.public.encode()

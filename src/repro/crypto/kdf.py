@@ -1,0 +1,68 @@
+"""HMAC and HKDF (RFC 5869) plus the TLS 1.3 HKDF-Expand-Label variant.
+
+SHA-256 is the only hash the paper's cipher suite (aes128gcmsha256) needs;
+``hashlib`` provides the compression function, everything above it is here.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _hmac
+
+from repro.errors import CryptoError
+
+HASH_LEN = 32  # SHA-256
+
+
+def hmac_sha256(key: bytes, message: bytes) -> bytes:
+    """HMAC-SHA256 digest."""
+    return _hmac.digest(key, message, "sha256")
+
+
+def hkdf_extract(salt: bytes, ikm: bytes) -> bytes:
+    """HKDF-Extract: PRK = HMAC(salt, IKM).  Empty salt means 32 zero bytes."""
+    if not salt:
+        salt = bytes(HASH_LEN)
+    return hmac_sha256(salt, ikm)
+
+
+def hkdf_expand(prk: bytes, info: bytes, length: int) -> bytes:
+    """HKDF-Expand to ``length`` bytes."""
+    if length > 255 * HASH_LEN:
+        raise CryptoError("HKDF-Expand length too large")
+    out = b""
+    block = b""
+    counter = 1
+    while len(out) < length:
+        block = hmac_sha256(prk, block + info + bytes([counter]))
+        out += block
+        counter += 1
+    return out[:length]
+
+
+def hkdf_expand_label(secret: bytes, label: str, context: bytes, length: int) -> bytes:
+    """TLS 1.3 HKDF-Expand-Label (RFC 8446 section 7.1)."""
+    full_label = b"tls13 " + label.encode("ascii")
+    if len(full_label) > 255 or len(context) > 255:
+        raise CryptoError("label or context too long")
+    info = (
+        length.to_bytes(2, "big")
+        + bytes([len(full_label)])
+        + full_label
+        + bytes([len(context)])
+        + context
+    )
+    return hkdf_expand(secret, info, length)
+
+
+def derive_secret(secret: bytes, label: str, transcript_hash: bytes) -> bytes:
+    """TLS 1.3 Derive-Secret: Expand-Label over a transcript hash."""
+    return hkdf_expand_label(secret, label, transcript_hash, HASH_LEN)
+
+
+def transcript_hash(*messages: bytes) -> bytes:
+    """SHA-256 over the concatenation of handshake messages."""
+    h = hashlib.sha256()
+    for m in messages:
+        h.update(m)
+    return h.digest()

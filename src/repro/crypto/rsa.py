@@ -1,0 +1,122 @@
+"""RSA with PKCS#1 v1.5 signatures over SHA-256.
+
+Only needed for the paper's Table 2 comparison (2048-bit RSA CertVerify vs
+256-bit ECDSA) and as a second certificate algorithm.  Key generation uses
+Miller-Rabin with a caller-supplied seeded RNG for reproducibility.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+
+from repro.errors import AuthenticationError, CryptoError
+
+# DigestInfo prefix for SHA-256 (RFC 8017 section 9.2 note 1).
+_SHA256_PREFIX = bytes.fromhex("3031300d060960864801650304020105000420")
+
+_SMALL_PRIMES = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+    151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199, 211, 223, 227, 229,
+]
+
+
+def _is_probable_prime(n: int, rng: random.Random, rounds: int = 24) -> bool:
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _random_prime(bits: int, rng: random.Random) -> int:
+    while True:
+        candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        if _is_probable_prime(candidate, rng):
+            return candidate
+
+
+@dataclass(frozen=True)
+class RsaKeyPair:
+    """An RSA key pair with the usual (n, e, d) plus its modulus size."""
+
+    n: int
+    e: int
+    d: int
+    bits: int
+
+    @staticmethod
+    def generate(bits: int, rng: random.Random) -> "RsaKeyPair":
+        """Generate a key; ``bits`` is the modulus size (e.g. 2048)."""
+        if bits < 512 or bits % 2:
+            raise CryptoError("RSA modulus must be an even size >= 512 bits")
+        e = 65537
+        while True:
+            p = _random_prime(bits // 2, rng)
+            q = _random_prime(bits // 2, rng)
+            if p == q:
+                continue
+            n = p * q
+            if n.bit_length() != bits:
+                continue
+            phi = (p - 1) * (q - 1)
+            try:
+                d = pow(e, -1, phi)
+            except ValueError:
+                continue
+            return RsaKeyPair(n, e, d, bits)
+
+    @property
+    def size_bytes(self) -> int:
+        return self.bits // 8
+
+    def _emsa_pkcs1(self, message: bytes) -> int:
+        """EMSA-PKCS1-v1_5 encode SHA-256(message) for this modulus size."""
+        t = _SHA256_PREFIX + hashlib.sha256(message).digest()
+        ps_len = self.size_bytes - len(t) - 3
+        if ps_len < 8:
+            raise CryptoError("modulus too small for PKCS#1 v1.5 with SHA-256")
+        em = b"\x00\x01" + b"\xff" * ps_len + b"\x00" + t
+        return int.from_bytes(em, "big")
+
+    def sign(self, message: bytes) -> bytes:
+        """PKCS#1 v1.5 signature (modulus-sized)."""
+        m = self._emsa_pkcs1(message)
+        return pow(m, self.d, self.n).to_bytes(self.size_bytes, "big")
+
+    def verify(self, message: bytes, signature: bytes) -> None:
+        """Verify a signature; raises AuthenticationError if invalid."""
+        if len(signature) != self.size_bytes:
+            raise AuthenticationError("bad RSA signature length")
+        s = int.from_bytes(signature, "big")
+        if s >= self.n:
+            raise AuthenticationError("RSA signature out of range")
+        if pow(s, self.e, self.n) != self._emsa_pkcs1(message):
+            raise AuthenticationError("RSA verification failed")
+
+    def public_bytes(self) -> bytes:
+        """Wire encoding of the public key: len(n) || n || len(e) || e."""
+        n_bytes = self.n.to_bytes(self.size_bytes, "big")
+        e_bytes = self.e.to_bytes(4, "big")
+        return (
+            len(n_bytes).to_bytes(2, "big") + n_bytes + len(e_bytes).to_bytes(2, "big") + e_bytes
+        )

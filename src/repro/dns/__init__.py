@@ -1,0 +1,5 @@
+"""Internal DNS: the datacenter resolver distributing SMT-tickets (§4.5.2)."""
+
+from repro.dns.resolver import InternalDns
+
+__all__ = ["InternalDns"]

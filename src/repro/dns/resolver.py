@@ -1,0 +1,55 @@
+"""The internal DNS resolver.
+
+Paper §4.5.2: the client performs a DNS query to retrieve the *SMT-ticket*
+-- the server's long-term ECDH share, its certificate and a signature.
+"The datacenter or cloud provider could operate its own root CA that also
+acts as the internal DNS resolver."  Queries can happen long before a
+handshake ("server information is often known in advance"), so the
+resolver simply serves published records with an optional lookup latency
+for benchmarks that want to charge it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ProtocolError
+
+
+@dataclass
+class DnsRecord:
+    """One published record: opaque payload plus its expiry."""
+
+    name: str
+    payload: object
+    published_at: float
+    ttl: float
+
+    def expired(self, now: float) -> bool:
+        return now > self.published_at + self.ttl
+
+
+@dataclass
+class InternalDns:
+    """An in-datacenter resolver mapping service names to SMT-tickets."""
+
+    lookup_latency: float = 0.0  # virtual seconds per query (0 = prefetched)
+    _records: dict[str, DnsRecord] = field(default_factory=dict)
+    queries: int = 0
+
+    def publish(self, name: str, payload: object, now: float, ttl: float = 3600.0) -> None:
+        """Publish/refresh a record (servers rotate tickets hourly, §4.5.3)."""
+        self._records[name] = DnsRecord(name, payload, now, ttl)
+
+    def query(self, name: str, now: float) -> object:
+        """Resolve ``name``; raises if absent or expired."""
+        self.queries += 1
+        record = self._records.get(name)
+        if record is None:
+            raise ProtocolError(f"no DNS record for {name!r}")
+        if record.expired(now):
+            raise ProtocolError(f"DNS record for {name!r} expired")
+        return record.payload
+
+    def revoke(self, name: str) -> None:
+        self._records.pop(name, None)

@@ -1,0 +1,25 @@
+"""Homa: a receiver-driven, message-based datacenter transport.
+
+Implements the protocol mechanics of Homa/Linux the paper builds on
+(§2.2): RPC message abstraction over a single socket, unscheduled data in
+the first RTT, receiver-driven GRANTs with SRPT priorities, RESEND-based
+loss recovery, TSO transmission with header replication, and full-message
+delivery.  SMT (:mod:`repro.core`) reuses this engine with an encrypting
+message codec and its own protocol number.
+"""
+
+from repro.homa.constants import HomaConfig
+from repro.homa.codec import MessageCodec, PlainCodec, EncodedMessage, SegmentPlan
+from repro.homa.engine import HomaTransport
+from repro.homa.socket import HomaSocket, InboundRpc
+
+__all__ = [
+    "HomaConfig",
+    "MessageCodec",
+    "PlainCodec",
+    "EncodedMessage",
+    "SegmentPlan",
+    "HomaTransport",
+    "HomaSocket",
+    "InboundRpc",
+]

@@ -1,0 +1,156 @@
+"""Message codecs: how application payloads become wire bytes.
+
+The Homa engine is codec-agnostic: a codec turns an application payload
+into per-TSO-segment plans on send and turns reassembled wire bytes back
+into the payload on receive.  Plain Homa's codec is the identity; SMT's
+codec (:mod:`repro.core.codec`) adds TLS records, composite sequence
+numbers, NIC offload descriptors and replay defence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Protocol
+
+from repro.errors import ProtocolError
+from repro.net.headers import PROTO_HOMA
+from repro.nic.tls_offload import ResyncDescriptor, TlsOffloadDescriptor
+from repro.nic.tso import MAX_TSO_PAYLOAD
+
+
+@dataclass
+class SegmentPlan:
+    """One TSO segment of an outbound message."""
+
+    tso_offset: int
+    payload: bytes  # wire payload (ciphertext, or plaintext layout when offloaded)
+    tls: Optional[TlsOffloadDescriptor] = None
+    # Descriptors that must precede this segment in its NIC ring (resyncs).
+    pre_descriptors: list[ResyncDescriptor] = field(default_factory=list)
+    sent: bool = False
+
+    @property
+    def length(self) -> int:
+        return len(self.payload)
+
+
+@dataclass
+class EncodedMessage:
+    """Codec output for one message."""
+
+    wire_len: int
+    plans: list[SegmentPlan]
+    # Extra app-context CPU the encode cost (crypto, framing) beyond the
+    # engine's generic per-message/per-packet charges.
+    tx_cpu_cost: float = 0.0
+    # Pin all segments to one NIC queue (SMT's per-queue flow contexts);
+    # None lets the engine pick its default.
+    nic_queue: Optional[int] = None
+    # Back-reference set by the engine so post-time hooks can reach the
+    # codec (resync decisions happen when a segment hits its ring).
+    codec: Optional["MessageCodec"] = None
+
+
+@dataclass
+class DecodedMessage:
+    """Codec output for one received message."""
+
+    payload: bytes
+    rx_cpu_cost: float = 0.0
+
+
+class MessageCodec(Protocol):
+    """Contract between the Homa engine and a message codec."""
+
+    proto: int
+
+    def segment_capacity(self, mss: int) -> int:
+        """Uniform wire bytes per TSO segment (both endpoints derive it)."""
+        ...
+
+    def max_message_ids(self) -> int:
+        """How many message IDs the codec can represent."""
+        ...
+
+    def encode(self, msg_id: int, payload: bytes, mss: int) -> EncodedMessage:
+        """Build wire segments for ``payload`` under ``msg_id``."""
+        ...
+
+    def decode(self, msg_id: int, wire: bytes) -> DecodedMessage:
+        """Recover the payload; raises AuthenticationError on tampering."""
+        ...
+
+    def accept_message(self, msg_id: int) -> bool:
+        """Replay filter, called on the first packet of an unseen message.
+
+        Returning False silently drops the message (paper §6.1: a replayed
+        message ID is discarded *without decryption*).
+        """
+        ...
+
+    def reseal_range(self, encoded: EncodedMessage, tso_offset: int) -> bytes:
+        """Wire bytes of one segment for retransmission.
+
+        Software-encrypted (and plain) codecs return the cached bytes; an
+        offloaded codec re-seals in software, since per-packet retransmits
+        cannot ride the record-granular NIC engine.
+        """
+        ...
+
+    def segment_pre_descriptors(
+        self, plan: SegmentPlan, queue: int
+    ) -> list[ResyncDescriptor]:
+        """Descriptors to post before ``plan`` in ring ``queue`` (resyncs)."""
+        ...
+
+
+def packets_per_segment_for(tso_mode) -> int:
+    """Map a :class:`repro.nic.tso.TsoMode` to a segment packet budget."""
+    from repro.nic.tso import TsoMode
+
+    return {TsoMode.FULL: 0, TsoMode.PAIRS: 2, TsoMode.OFF: 1}[tso_mode]
+
+
+class PlainCodec:
+    """Identity codec: unencrypted Homa."""
+
+    def __init__(self, proto: int = PROTO_HOMA, packets_per_segment: int = 0):
+        self.proto = proto
+        self.packets_per_segment = packets_per_segment
+
+    def segment_capacity(self, mss: int) -> int:
+        # Full packets per segment so TSO cuts are uniform (or the §7
+        # reduced-TSO modes: 2-packet GSO segments / single packets).
+        if self.packets_per_segment > 0:
+            return self.packets_per_segment * mss
+        return (MAX_TSO_PAYLOAD // mss) * mss
+
+    def max_message_ids(self) -> int:
+        return 1 << 64
+
+    def encode(self, msg_id: int, payload: bytes, mss: int) -> EncodedMessage:
+        cap = self.segment_capacity(mss)
+        plans = [
+            SegmentPlan(off, payload[off : off + cap])
+            for off in range(0, len(payload), cap)
+        ] or [SegmentPlan(0, b"")]
+        if not payload:
+            raise ProtocolError("cannot send an empty message")
+        return EncodedMessage(wire_len=len(payload), plans=plans)
+
+    def decode(self, msg_id: int, wire: bytes) -> DecodedMessage:
+        return DecodedMessage(payload=wire)
+
+    def accept_message(self, msg_id: int) -> bool:
+        return True
+
+    def reseal_range(self, encoded: EncodedMessage, tso_offset: int) -> bytes:
+        for plan in encoded.plans:
+            if plan.tso_offset == tso_offset:
+                return plan.payload
+        raise ProtocolError(f"no segment at TSO offset {tso_offset}")
+
+    def segment_pre_descriptors(
+        self, plan: SegmentPlan, queue: int
+    ) -> list[ResyncDescriptor]:
+        return []

@@ -1,0 +1,41 @@
+"""Homa protocol parameters.
+
+Defaults follow Homa/Linux's shipping configuration scaled to the paper's
+100 Gb/s testbed: ~60 KB of unscheduled data (one bandwidth-delay product),
+1 MB default maximum message size (paper §4.4.1 mentions it), and grant
+windows of one RTT-bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import KB, MB, USEC
+
+
+@dataclass
+class HomaConfig:
+    """Tunables for one Homa/SMT transport instance."""
+
+    # Bytes a sender may transmit before any grant (one BDP at 100 Gb/s
+    # with a ~5 us RTT is ~60 KB, Homa/Linux's "unsched_bytes").
+    unscheduled_bytes: int = 72 * KB
+    # The receiver keeps this many granted-but-unreceived bytes per message.
+    grant_window: int = 72 * KB
+    # Re-grant when outstanding authorisation falls below this fraction.
+    grant_refill_fraction: float = 0.5
+    # Maximum message size (Homa's default, paper §4.4.1).
+    max_message_size: int = 1 * MB
+    # Receiver asks for retransmission after this much silence on an
+    # incomplete message (Homa/Linux uses ~10 ms; the simulated testbed's
+    # RTT is microseconds so a tighter timer keeps loss recovery quick
+    # while staying above loaded-queue latencies).
+    resend_interval: float = 1000 * USEC
+    # Give up on an incomplete inbound message after this many resends.
+    max_resends: int = 10
+    # Sender frees an unacknowledged fully-sent message after this long.
+    sender_timeout: float = 10_000 * USEC
+    # Network priority levels (strict; 7 highest).
+    control_priority: int = 7
+    unscheduled_priority: int = 6
+    scheduled_priority_levels: int = 4  # SRPT levels 2..5 for granted data

@@ -1,0 +1,612 @@
+"""The Homa protocol engine: packet handling, grants, retransmission.
+
+One :class:`HomaTransport` per (host, protocol number).  Sockets register
+by port; RPC message IDs are even for requests, ``request | 1`` for
+responses (the Homa/Linux convention).  Receive processing runs in softirq
+context on the single core the session's 5-tuple RSS-hashes to -- the
+bottleneck §5.2 measures -- while completed messages are handed to
+application threads for the copy/decrypt stage.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ProtocolError, TransportError
+from repro.homa.codec import EncodedMessage, MessageCodec, SegmentPlan
+from repro.homa.constants import HomaConfig
+from repro.homa.message import InboundMessage, OutboundMessage
+from repro.net.headers import PROTO_HOMA, PacketType, TransportHeader
+from repro.net.packet import Packet
+from repro.nic.tso import TsoSegment
+
+
+class HomaTransport:
+    """Protocol engine shared by all Homa (or SMT) sockets on a host."""
+
+    def __init__(self, host, config: Optional[HomaConfig] = None, proto: int = PROTO_HOMA):
+        self.host = host
+        self.loop = host.loop
+        self.costs = host.costs
+        self.config = config or HomaConfig()
+        self.proto = proto
+        host.register_transport(proto, self)
+        self._sockets: dict[int, "HomaSocket"] = {}  # noqa: F821
+        # Outbound keyed by msg_id (sender-unique); inbound by (peer, port, id).
+        self._outbound: dict[int, OutboundMessage] = {}
+        self._encoded: dict[int, EncodedMessage] = {}
+        self._inbound: dict[tuple[int, int, int], InboundMessage] = {}
+        self._delivered: set[tuple[int, int, int]] = set()
+        self._next_msg_id = 2
+        # Lazily-batched ACKs (Homa/Linux acks lazily; responses implicitly
+        # ack their requests): peer -> (local_port, peer_port, [msg ids]).
+        self._ack_batch: dict[int, tuple[int, int, list[int]]] = {}
+        self.ack_batch_size = 8
+        self.ack_flush_interval = 100e-6
+        # Stats the tests and benchmarks read.
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.replays_dropped = 0
+        self.spurious_ignored = 0
+        self.resend_requests = 0
+        self.packets_retransmitted = 0
+
+    # -- socket registry ---------------------------------------------------------
+
+    def bind(self, socket, port: int) -> None:
+        if port in self._sockets:
+            raise TransportError(f"port {port} already bound")
+        self._sockets[port] = socket
+
+    def alloc_msg_id(self, codec: MessageCodec) -> int:
+        msg_id = self._next_msg_id
+        self._next_msg_id += 2
+        if msg_id >= codec.max_message_ids():
+            raise TransportError("message ID space exhausted for this session")
+        return msg_id
+
+    # -- transmit path ---------------------------------------------------------------
+
+    def send_message(
+        self,
+        codec: MessageCodec,
+        src_port: int,
+        dest_addr: int,
+        dest_port: int,
+        msg_id: int,
+        encoded: EncodedMessage,
+    ) -> float:
+        """Register an outbound message and transmit its unscheduled part.
+
+        Returns the CPU cost of the transmission work (the caller charges
+        it to the right context: app thread for new messages).
+        """
+        if encoded.wire_len > self.config.max_message_size * 2:
+            raise TransportError(
+                f"message of {encoded.wire_len} wire bytes exceeds the maximum"
+            )
+        msg = OutboundMessage(
+            msg_id=msg_id,
+            dest_addr=dest_addr,
+            dest_port=dest_port,
+            src_port=src_port,
+            wire_len=encoded.wire_len,
+            segment_capacity=codec.segment_capacity(self.host.nic.mtu_payload),
+            plans=encoded.plans,
+            granted=min(encoded.wire_len, self.config.unscheduled_bytes),
+            created_at=self.loop.now,
+        )
+        key = (dest_addr, msg_id)
+        encoded.codec = codec
+        self._outbound[key] = msg
+        self._encoded[key] = encoded
+        self.messages_sent += 1
+        cost = self.costs.homa_tx_per_message + encoded.tx_cpu_cost
+        cost += self._granted_cost(msg, encoded)
+        self._arm_sender_timeout(msg)
+        return cost
+
+    def kick(self, dest_addr: int, msg_id: int) -> None:
+        """Transmit the registered message's granted plans.
+
+        Callers charge :meth:`send_message`'s returned CPU cost to their
+        thread *before* kicking, so transmission correctly waits for the
+        send-side work (encode, crypto, descriptor setup).
+        """
+        key = (dest_addr, msg_id)
+        msg = self._outbound.get(key)
+        encoded = self._encoded.get(key)
+        if msg is None or encoded is None:
+            return
+        self._transmit_granted(msg, encoded)
+
+    def _granted_cost(self, msg: OutboundMessage, encoded: EncodedMessage) -> float:
+        """CPU cost of transmitting the not-yet-sent plans below the grant."""
+        cost = 0.0
+        mss = self.host.nic.mtu_payload
+        for plan in encoded.plans:
+            if plan.sent or plan.tso_offset >= msg.granted:
+                continue
+            npkts = max(1, (plan.length + mss - 1) // mss)
+            cost += (
+                self.costs.homa_tx_per_packet * npkts
+                + self.costs.driver_tx_per_segment
+            )
+            if plan.tls is not None:
+                cost += self.costs.offload_meta_per_segment
+        return cost
+
+    def _transmit_granted(self, msg: OutboundMessage, encoded: EncodedMessage) -> float:
+        """Send every unsent plan below the grant limit; returns CPU cost."""
+        cost = 0.0
+        mss = self.host.nic.mtu_payload
+        for plan in encoded.plans:
+            if plan.sent or plan.tso_offset >= msg.granted:
+                continue
+            plan.sent = True
+            msg.sent_bytes += plan.length
+            npkts = max(1, (plan.length + mss - 1) // mss)
+            cost += (
+                self.costs.homa_tx_per_packet * npkts
+                + self.costs.driver_tx_per_segment
+            )
+            if plan.tls is not None:
+                cost += self.costs.offload_meta_per_segment
+            cost += self.costs.offload_resync * self._post_plan(msg, encoded, plan)
+        return cost
+
+    def _post_plan(self, msg: OutboundMessage, encoded: EncodedMessage, plan: SegmentPlan) -> int:
+        """Post one segment (plus any resyncs); returns the resync count."""
+        nic = self.host.nic
+        queue = encoded.nic_queue
+        if queue is None:
+            queue = (msg.msg_id >> 1) % nic.num_queues
+        pres = []
+        if encoded.codec is not None:
+            pres = encoded.codec.segment_pre_descriptors(plan, queue)
+        for pre in pres:
+            nic.post(queue, pre)
+        header = TransportHeader(
+            src_port=msg.src_port,
+            dst_port=msg.dest_port,
+            msg_id=msg.msg_id,
+            pkt_type=PacketType.DATA,
+            msg_len=msg.wire_len,
+            tso_offset=plan.tso_offset,
+            priority=self._data_priority(msg.wire_len),
+        )
+        nic.post(
+            queue,
+            TsoSegment(
+                src_addr=self.host.addr,
+                dst_addr=msg.dest_addr,
+                proto=self.proto,
+                header=header,
+                payload=plan.payload,
+                mss=nic.mtu_payload,
+                tls=plan.tls,
+            ),
+        )
+        return len(pres)
+
+    def _data_priority(self, wire_len: int) -> int:
+        cfg = self.config
+        if wire_len <= cfg.unscheduled_bytes:
+            return cfg.unscheduled_priority
+        return cfg.unscheduled_priority - 1  # scheduled data, refined by grants
+
+    def _send_control(
+        self,
+        dest_addr: int,
+        header: TransportHeader,
+        queue: Optional[int] = None,
+    ) -> None:
+        nic = self.host.nic
+        if queue is None:
+            queue = 0
+        nic.post(
+            queue,
+            TsoSegment(
+                src_addr=self.host.addr,
+                dst_addr=dest_addr,
+                proto=self.proto,
+                header=header,
+                payload=b"",
+                mss=nic.mtu_payload,
+            ),
+        )
+
+    def _arm_sender_timeout(self, msg: OutboundMessage) -> None:
+        key = (msg.dest_addr, msg.msg_id)
+
+        def check() -> None:
+            if not msg.acked and key in self._outbound:
+                # Receiver never acked: free state (it will RESEND if alive).
+                del self._outbound[key]
+                self._encoded.pop(key, None)
+
+        self.loop.call_later(self.config.sender_timeout, check)
+
+    # -- receive path --------------------------------------------------------------------
+
+    def classify(self, packet: Packet):
+        t = packet.transport
+        c = self.costs
+        if t.pkt_type == PacketType.DATA:
+            # Softirq only queues packet buffers; the gather/copy into the
+            # user message happens at recvmsg on the app thread (the paper's
+            # full-message-then-copy receive, §5.1).
+            per_byte = c.homa_rx_per_byte * len(packet.payload)
+            cost = c.homa_rx_per_packet + per_byte
+            merge_key = (id(self), packet.ip.src_addr, t.src_port, "data")
+            merge_cost = c.homa_rx_merged_per_packet + per_byte
+            return cost, (lambda: self._handle_data(packet)), merge_key, merge_cost
+        if t.pkt_type == PacketType.GRANT:
+            return c.homa_grant_rx, (lambda: self._handle_grant(packet)), None, 0.0
+        if t.pkt_type == PacketType.RESEND:
+            return c.homa_grant_rx, (lambda: self._handle_resend(packet)), None, 0.0
+        if t.pkt_type == PacketType.ACK:
+            return c.homa_grant_rx, (lambda: self._handle_ack(packet)), None, 0.0
+        return 0.1e-6, (lambda: None), None, 0.0
+
+    # .. data ..
+
+    def _handle_data(self, packet: Packet) -> Optional[float]:
+        t = packet.transport
+        key = (packet.ip.src_addr, t.src_port, t.msg_id)
+        if key in self._delivered:
+            self.spurious_ignored += 1
+            return None
+        socket = self._sockets.get(t.dst_port)
+        if socket is None:
+            return None
+        try:
+            codec = socket.codec_for(packet.ip.src_addr, t.src_port)
+        except ProtocolError:
+            # Data raced ahead of session establishment: drop; the sender's
+            # RESEND machinery retries once the session exists.
+            self.spurious_ignored += 1
+            return None
+        inbound = self._inbound.get(key)
+        extra = 0.0
+        if inbound is None:
+            # First packet of an unseen message: replay filter (paper §6.1:
+            # replayed IDs are dropped without decryption).
+            extra += self.costs.homa_rx_per_message + self.costs.smt_replay_check
+            if not codec.accept_message(t.msg_id):
+                self.replays_dropped += 1
+                return extra
+            inbound = InboundMessage(
+                msg_id=t.msg_id,
+                peer_addr=packet.ip.src_addr,
+                peer_port=t.src_port,
+                local_port=t.dst_port,
+                wire_len=t.msg_len,
+                segment_capacity=codec.segment_capacity(self.host.nic.mtu_payload),
+                mss=self.host.nic.mtu_payload,
+                granted=min(t.msg_len, self.config.unscheduled_bytes),
+                last_progress=self.loop.now,
+            )
+            self._inbound[key] = inbound
+            if not inbound.complete:
+                self._arm_resend_timer(key, inbound)
+        if not packet.payload and t.msg_len:
+            # A trimmed packet (NDP-style, paper §7): the payload was cut
+            # at an overloaded switch but the plaintext transport metadata
+            # tells us exactly what to re-request -- immediately, once.
+            asm_state = inbound.segments.get(t.tso_offset)
+            if (
+                (asm_state is None or not asm_state.complete)
+                and t.tso_offset not in inbound.trim_requested
+            ):
+                inbound.trim_requested.add(t.tso_offset)
+                self.resend_requests += 1
+                self._send_control(
+                    inbound.peer_addr,
+                    TransportHeader(
+                        src_port=0,
+                        dst_port=inbound.peer_port,
+                        msg_id=inbound.msg_id,
+                        pkt_type=PacketType.RESEND,
+                        tso_offset=t.tso_offset,
+                        msg_len=inbound.segment_length(t.tso_offset),
+                        priority=self.config.control_priority,
+                    ),
+                )
+                return (extra + self.costs.homa_grant_tx) or None
+            return extra or None
+        asm = inbound.assembler(t.tso_offset)
+        was_complete = asm.complete
+        if t.retransmit_offset:
+            asm.add_explicit_packet(t.retransmit_offset - 1, packet.payload)
+        else:
+            asm.add_tso_packet(packet.ip.ipid, packet.payload)
+        if asm.spurious:
+            self.spurious_ignored += asm.spurious
+            asm.spurious = 0
+        if asm.complete and not was_complete:
+            inbound.received_bytes += asm.seg_len
+            inbound.last_progress = self.loop.now
+        if inbound.complete and not inbound.delivered:
+            inbound.delivered = True
+            extra += self._deliver(key, inbound, socket)
+        elif not inbound.complete:
+            extra += self._maybe_grant(inbound)
+        return extra or None
+
+    def _deliver(self, key: tuple, inbound: InboundMessage, socket) -> float:
+        wire = inbound.assemble()
+        del self._inbound[key]
+        self._delivered.add(key)
+        if len(self._delivered) > 100_000:
+            self._delivered.clear()  # bounded memory; late dupes hit codec filter
+        self.messages_delivered += 1
+        cost = self.costs.homa_deliver_fixed + self.costs.homa_wake
+        if inbound.msg_id & 1:
+            # A response implicitly acknowledges its request (Homa's RPC
+            # semantics): free our outbound request state now, and queue a
+            # lazy batched ACK so the responder frees the response.
+            request_key = (inbound.peer_addr, inbound.msg_id & ~1)
+            freed = self._outbound.pop(request_key, None)
+            if freed is not None:
+                freed.acked = True
+                self._encoded.pop(request_key, None)
+            cost += self._queue_ack(inbound, socket)
+        # Requests need no explicit ACK: the response implies it; sender
+        # timeouts clean up one-way messages.
+        socket.deliver(inbound, wire)
+        return cost
+
+    def _queue_ack(self, inbound: InboundMessage, socket) -> float:
+        """Batch an ACK for a delivered response; flush per 8 or on timer."""
+        batch = self._ack_batch.get(inbound.peer_addr)
+        if batch is None:
+            batch = (socket.port, inbound.peer_port, [inbound.msg_id])
+            self._ack_batch[inbound.peer_addr] = batch
+            self.loop.call_later(
+                self.ack_flush_interval, lambda: self._flush_acks(inbound.peer_addr)
+            )
+        else:
+            batch[2].append(inbound.msg_id)
+        if len(batch[2]) >= self.ack_batch_size:
+            return self._flush_acks(inbound.peer_addr)
+        return 0.0
+
+    def _flush_acks(self, peer_addr: int) -> float:
+        batch = self._ack_batch.pop(peer_addr, None)
+        if batch is None:
+            return 0.0
+        local_port, peer_port, ids = batch
+        payload = b"".join(i.to_bytes(8, "big") for i in ids)
+        header = TransportHeader(
+            src_port=local_port,
+            dst_port=peer_port,
+            msg_id=ids[0],
+            pkt_type=PacketType.ACK,
+            msg_len=len(ids),
+            priority=self.config.control_priority,
+        )
+        nic = self.host.nic
+        nic.post(
+            0,
+            TsoSegment(
+                src_addr=self.host.addr,
+                dst_addr=peer_addr,
+                proto=self.proto,
+                header=header,
+                payload=payload,
+                mss=nic.mtu_payload,
+            ),
+        )
+        return self.costs.homa_grant_tx
+
+    def _maybe_grant(self, inbound: InboundMessage) -> float:
+        cfg = self.config
+        if inbound.wire_len <= cfg.unscheduled_bytes:
+            return 0.0
+        outstanding = inbound.granted - inbound.received_bytes
+        if outstanding > cfg.grant_window * cfg.grant_refill_fraction:
+            return 0.0
+        new_grant = min(inbound.wire_len, inbound.received_bytes + cfg.grant_window)
+        if new_grant <= inbound.granted:
+            return 0.0
+        inbound.granted = new_grant
+        self._send_control(
+            inbound.peer_addr,
+            TransportHeader(
+                src_port=0,
+                dst_port=inbound.peer_port,
+                msg_id=inbound.msg_id,
+                pkt_type=PacketType.GRANT,
+                grant_offset=new_grant,
+                priority=cfg.control_priority,
+            ),
+        )
+        return self.costs.homa_grant_tx
+
+    # .. grant ..
+
+    def _handle_grant(self, packet: Packet) -> Optional[float]:
+        t = packet.transport
+        key = (packet.ip.src_addr, t.msg_id)
+        msg = self._outbound.get(key)
+        if msg is None:
+            return None
+        if t.grant_offset > msg.granted:
+            msg.granted = min(t.grant_offset, msg.wire_len)
+            encoded = self._encoded.get(key)
+            if encoded is not None:
+                # Granted data is pushed from softirq context (paper §3.2).
+                return self._transmit_granted(msg, encoded) or None
+        return None
+
+    # .. resend ..
+
+    def _arm_resend_timer(self, key: tuple, inbound: InboundMessage) -> None:
+        # Deterministic per-message jitter: synchronized retry storms from
+        # many senders would otherwise collide at the same switch buffer
+        # forever (the simulation is deterministic, so symmetry never
+        # breaks by chance).
+        jitter = 1.0 + ((inbound.msg_id * 2654435761) % 64) / 128.0
+        interval = self.config.resend_interval * jitter
+
+        def check() -> None:
+            if inbound.delivered or self._inbound.get(key) is not inbound:
+                return
+            if self.loop.now - inbound.last_progress >= interval * 0.9:
+                inbound.resends += 1
+                if inbound.resends > self.config.max_resends:
+                    del self._inbound[key]  # give up
+                    return
+                core = self.host.softirq_core_for_flow(
+                    inbound.peer_addr, inbound.peer_port,
+                    inbound.local_port, self.proto,
+                )
+                core.submit(self.costs.homa_grant_tx, lambda: self._request_resend(inbound))
+            self.loop.call_later(interval, check)
+
+        self.loop.call_later(interval, check)
+
+    def _request_resend(self, inbound: InboundMessage) -> None:
+        self.resend_requests += 1
+        # Allow trim notifications to fast-path again for the re-requested
+        # segments (the previous retransmission may itself have been cut).
+        inbound.trim_requested.clear()
+        for offset, length in inbound.missing_ranges():
+            self._send_control(
+                inbound.peer_addr,
+                TransportHeader(
+                    src_port=0,
+                    dst_port=inbound.peer_port,
+                    msg_id=inbound.msg_id,
+                    pkt_type=PacketType.RESEND,
+                    tso_offset=offset,
+                    msg_len=length,
+                    priority=self.config.control_priority,
+                ),
+            )
+
+    def retransmit_outbound(self, dest_addr: int, msg_id: int) -> float:
+        """Resend every sent plan of an outbound message (RPC timeout).
+
+        Covers the request-lost-entirely case: the receiver has no state,
+        so only the sender can restart the exchange.  Retransmissions use
+        explicit per-packet offsets -- duplicating rank-unknown TSO packets
+        with fresh IPIDs would poison the receiver's IPID-rank inference.
+        """
+        key = (dest_addr, msg_id)
+        msg = self._outbound.get(key)
+        encoded = self._encoded.get(key)
+        if msg is None or encoded is None:
+            return 0.0
+        cost = 0.0
+        for plan in encoded.plans:
+            if plan.sent:
+                cost += self._retransmit_segment_explicit(msg, encoded, plan.tso_offset)
+        return cost
+
+    def _retransmit_segment_explicit(
+        self, msg: OutboundMessage, encoded: EncodedMessage, tso_offset: int
+    ) -> float:
+        """Resend one segment as explicit-offset single packets."""
+        codec = encoded.codec
+        if codec is None:
+            return 0.0
+        try:
+            wire = codec.reseal_range(encoded, tso_offset)
+        except ProtocolError:
+            return 0.0
+        mss = self.host.nic.mtu_payload
+        queue = encoded.nic_queue if encoded.nic_queue is not None else (
+            (msg.msg_id >> 1) % self.host.nic.num_queues
+        )
+        cost = 0.0
+        for off in range(0, len(wire), mss):
+            chunk = wire[off : off + mss]
+            self.packets_retransmitted += 1
+            header = TransportHeader(
+                src_port=msg.src_port,
+                dst_port=msg.dest_port,
+                msg_id=msg.msg_id,
+                pkt_type=PacketType.DATA,
+                msg_len=msg.wire_len,
+                tso_offset=tso_offset,
+                retransmit_offset=off + 1,  # explicit in-segment byte offset
+                priority=self.config.control_priority,
+            )
+            self.host.nic.post(
+                queue,
+                TsoSegment(
+                    src_addr=self.host.addr,
+                    dst_addr=msg.dest_addr,
+                    proto=self.proto,
+                    header=header,
+                    payload=chunk,
+                    mss=mss,
+                ),
+            )
+            cost += self.costs.homa_tx_per_packet + self.costs.driver_tx_per_segment
+        return cost
+
+    def request_response_resend(self, dest_addr: int, dest_port: int, response_id: int) -> None:
+        """Client-side RPC timeout: ask the server to resend a response.
+
+        ``msg_len == 0`` in a RESEND means "the whole message" -- used when
+        the requester has no inbound state at all (every packet lost).
+        """
+        self.resend_requests += 1
+        self._send_control(
+            dest_addr,
+            TransportHeader(
+                src_port=0,
+                dst_port=dest_port,
+                msg_id=response_id,
+                pkt_type=PacketType.RESEND,
+                tso_offset=0,
+                msg_len=0,
+                priority=self.config.control_priority,
+            ),
+        )
+
+    def _handle_resend(self, packet: Packet) -> Optional[float]:
+        """Sender side: retransmit one segment as explicit-offset packets."""
+        t = packet.transport
+        key = (packet.ip.src_addr, t.msg_id)
+        msg = self._outbound.get(key)
+        encoded = self._encoded.get(key)
+        if msg is None or encoded is None:
+            return None
+        if t.msg_len == 0:
+            # Whole-message resend: every granted segment, explicit offsets.
+            cost = 0.0
+            for plan in encoded.plans:
+                if plan.tso_offset < msg.granted:
+                    cost += self._retransmit_segment_explicit(
+                        msg, encoded, plan.tso_offset
+                    )
+            return cost or None
+        return self._retransmit_segment_explicit(msg, encoded, t.tso_offset) or None
+
+    def _socket_codec_for(self, msg: OutboundMessage) -> MessageCodec:
+        socket = self._sockets.get(msg.src_port)
+        if socket is None:
+            raise ProtocolError(f"no socket on port {msg.src_port}")
+        return socket.codec_for(msg.dest_addr, msg.dest_port)
+
+    # .. ack ..
+
+    def _handle_ack(self, packet: Packet) -> Optional[float]:
+        if packet.payload:
+            ids = [
+                int.from_bytes(packet.payload[i : i + 8], "big")
+                for i in range(0, len(packet.payload), 8)
+            ]
+        else:
+            ids = [packet.transport.msg_id]
+        for msg_id in ids:
+            key = (packet.ip.src_addr, msg_id)
+            msg = self._outbound.pop(key, None)
+            if msg is not None:
+                msg.acked = True
+                self._encoded.pop(key, None)
+        return None

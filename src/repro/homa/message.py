@@ -1,0 +1,183 @@
+"""Message state: outbound send tracking and inbound reassembly.
+
+Reassembly follows the paper's two-stage scheme (§4.3): packets are first
+grouped into their TSO segment by the (message ID, TSO offset) pair and
+ordered *within* the segment by IPv4 IPID (normal TSO packets) or by the
+explicit resend packet offset (retransmissions); completed segments are
+then placed into the message by TSO offset.
+
+Both endpoints derive segment boundaries from the same rule -- segments
+are ``segment_capacity`` bytes except the last -- because TSO's packet
+boundaries are "predictable" (§2.2).
+
+Spurious retransmissions: a retransmitted packet whose range is already
+covered is ignored (paper §4.3).  The one genuinely ambiguous corner --
+a segment holding a duplicate rank-unknown TSO packet *and* missing a
+different packet -- cannot be resolved from IPIDs alone; the assembler
+waits, and the receiver's RESEND timer eventually produces explicit-offset
+retransmissions that complete the segment unambiguously.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ProtocolError
+
+
+def sort_circular_ipids(ipids: list[int]) -> list[int]:
+    """Order IPIDs that form one consecutive run modulo 2^16."""
+    if not ipids:
+        return []
+    ordered = sorted(ipids)
+    # A segment's run is at most ~45 packets long, so a spread of half the
+    # IPID space means the run wraps; treat small values as +2^16.
+    if ordered[-1] - ordered[0] >= 1 << 15:
+        ordered = sorted(ipids, key=lambda v: v + (1 << 16) if v < (1 << 15) else v)
+    return ordered
+
+
+class SegmentAssembler:
+    """Collects the packets of one TSO segment."""
+
+    def __init__(self, seg_len: int, mss: int):
+        self.seg_len = seg_len
+        self.mss = mss
+        self.num_packets = max(1, (seg_len + mss - 1) // mss)
+        self._by_ipid: dict[int, bytes] = {}
+        self._by_offset: dict[int, bytes] = {}
+        self.complete_data: Optional[bytes] = None
+        self.spurious = 0
+
+    @property
+    def complete(self) -> bool:
+        return self.complete_data is not None
+
+    def add_tso_packet(self, ipid: int, payload: bytes) -> None:
+        """A normal (rank-unknown) packet cut by TSO."""
+        if self.complete or ipid in self._by_ipid:
+            self.spurious += 1
+            return
+        self._by_ipid[ipid] = payload
+        self._try_assemble()
+
+    def add_explicit_packet(self, offset: int, payload: bytes) -> None:
+        """A retransmitted packet carrying its in-segment byte offset."""
+        if self.complete or offset in self._by_offset:
+            self.spurious += 1
+            return
+        if offset % self.mss != 0 or offset + len(payload) > self.seg_len:
+            raise ProtocolError(f"bad explicit packet offset {offset}")
+        self._by_offset[offset] = payload
+        self._try_assemble()
+
+    def _try_assemble(self) -> None:
+        npkts = self.num_packets
+        # Pure-TSO path: every packet arrived normally.
+        if len(self._by_ipid) == npkts:
+            chunks = [
+                self._by_ipid[ipid] for ipid in sort_circular_ipids(list(self._by_ipid))
+            ]
+            self._finish(b"".join(chunks))
+            return
+        # Pure-explicit path: retransmissions cover the whole segment.
+        explicit_slots = set(self._by_offset)
+        all_slots = {i * self.mss for i in range(npkts)}
+        if explicit_slots == all_slots:
+            data = b"".join(self._by_offset[off] for off in sorted(self._by_offset))
+            self._finish(data)
+            return
+        # No mixed path: combining rank-unknown TSO packets with explicit
+        # retransmissions is ambiguous (a lost tail plus an explicit head
+        # can pass any relative-spacing check while misplacing every
+        # packet).  Retransmissions always carry explicit offsets and a
+        # RESEND re-requests the whole segment, so explicit coverage
+        # completes any segment the pure-TSO path cannot.
+
+    def _finish(self, data: bytes) -> None:
+        if len(data) != self.seg_len:
+            raise ProtocolError(
+                f"segment assembled to {len(data)} bytes, expected {self.seg_len}"
+            )
+        self.complete_data = data
+        self._by_ipid.clear()
+        self._by_offset.clear()
+
+
+@dataclass
+class InboundMessage:
+    """One message being received."""
+
+    msg_id: int
+    peer_addr: int
+    peer_port: int
+    local_port: int
+    wire_len: int
+    segment_capacity: int
+    mss: int
+    segments: dict[int, SegmentAssembler] = field(default_factory=dict)
+    received_bytes: int = 0  # bytes in completed segments
+    granted: int = 0
+    resends: int = 0
+    last_progress: float = 0.0
+    delivered: bool = False
+    # Segments already fast-resent after an NDP-style trim notification.
+    trim_requested: set = field(default_factory=set)
+
+    def segment_length(self, tso_offset: int) -> int:
+        if tso_offset % self.segment_capacity != 0 or tso_offset >= self.wire_len:
+            raise ProtocolError(f"bad TSO offset {tso_offset} for len {self.wire_len}")
+        return min(self.segment_capacity, self.wire_len - tso_offset)
+
+    def assembler(self, tso_offset: int) -> SegmentAssembler:
+        asm = self.segments.get(tso_offset)
+        if asm is None:
+            asm = SegmentAssembler(self.segment_length(tso_offset), self.mss)
+            self.segments[tso_offset] = asm
+        return asm
+
+    @property
+    def complete(self) -> bool:
+        return self.received_bytes >= self.wire_len
+
+    def assemble(self) -> bytes:
+        """Concatenate completed segments into the full wire message."""
+        if not self.complete:
+            raise ProtocolError("assembling an incomplete message")
+        parts = []
+        for off in range(0, self.wire_len, self.segment_capacity):
+            seg = self.segments[off]
+            parts.append(seg.complete_data)
+        return b"".join(parts)
+
+    def missing_ranges(self) -> list[tuple[int, int]]:
+        """(wire_offset, length) ranges not yet covered by complete segments."""
+        missing = []
+        for off in range(0, self.wire_len, self.segment_capacity):
+            seg = self.segments.get(off)
+            if seg is None or not seg.complete:
+                missing.append((off, self.segment_length(off)))
+        return missing
+
+
+@dataclass
+class OutboundMessage:
+    """One message being transmitted."""
+
+    msg_id: int
+    dest_addr: int
+    dest_port: int
+    src_port: int
+    wire_len: int
+    segment_capacity: int
+    # Filled by the codec: per-segment plans in TSO-offset order.
+    plans: list = field(default_factory=list)
+    sent_bytes: int = 0  # wire bytes handed to the NIC so far
+    granted: int = 0
+    acked: bool = False
+    created_at: float = 0.0
+
+    @property
+    def fully_sent(self) -> bool:
+        return self.sent_bytes >= self.wire_len

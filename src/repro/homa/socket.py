@@ -1,0 +1,193 @@
+"""The message socket API: request/response RPCs over one socket.
+
+One Homa (or SMT) socket talks to any number of peers -- the property
+that let the paper's Redis port keep a single epoll-monitored descriptor
+for all clients (§5.3).  Message codecs are resolved per peer, because an
+SMT socket holds one secure session per flow 5-tuple.
+
+All application-facing methods are generators that run on an
+:class:`repro.host.cpu.AppThread` and charge the syscall/copy/crypto CPU
+costs to that thread's core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Optional
+
+from repro.errors import TransportError
+from repro.homa.codec import MessageCodec, PlainCodec
+from repro.homa.engine import HomaTransport
+from repro.homa.message import InboundMessage
+from repro.host.cpu import AppThread
+from repro.sim.resources import Store
+
+
+@dataclass
+class InboundRpc:
+    """A received request the application must reply to."""
+
+    peer_addr: int
+    peer_port: int
+    msg_id: int
+    payload: bytes
+
+
+class HomaSocket:
+    """A bound message socket."""
+
+    def __init__(
+        self,
+        transport: HomaTransport,
+        port: int,
+        codec_provider: Optional[Callable[[int, int], MessageCodec]] = None,
+    ):
+        self.transport = transport
+        self.loop = transport.loop
+        self.costs = transport.costs
+        self.port = port
+        default_codec = PlainCodec(transport.proto)
+        self._codec_provider = codec_provider or (lambda addr, port_: default_codec)
+        self._rx_requests: Store = Store(self.loop, f"homa.{port}.rx")
+        self._pending: dict[int, Any] = {}  # request msg_id -> Event
+        transport.bind(self, port)
+        self._reader_blocked = False
+
+    def codec_for(self, peer_addr: int, peer_port: int) -> MessageCodec:
+        """The codec governing messages to/from this peer."""
+        return self._codec_provider(peer_addr, peer_port)
+
+    # -- engine-facing -----------------------------------------------------------
+
+    def deliver(self, inbound: InboundMessage, wire: bytes) -> None:
+        """Engine hands over a complete message (softirq context)."""
+        if inbound.msg_id & 1:
+            event = self._pending.pop(inbound.msg_id & ~1, None)
+            if event is not None:
+                event.succeed((inbound, wire))
+        else:
+            self._rx_requests.put((inbound, wire))
+
+    # -- application-facing ---------------------------------------------------------
+
+    def call(
+        self,
+        thread: AppThread,
+        dest_addr: int,
+        dest_port: int,
+        payload: bytes,
+    ) -> Generator[Any, Any, bytes]:
+        """Send a request and wait for its response; returns the payload."""
+        codec = self.codec_for(dest_addr, dest_port)
+        msg_id = self.transport.alloc_msg_id(codec)
+        mss = self.transport.host.nic.mtu_payload
+        encoded = codec.encode(msg_id, payload, mss)
+        event = self.loop.event()
+        self._pending[msg_id] = event
+        cost = (
+            self.costs.syscall
+            + self.costs.homa_send_extra
+            + self.costs.copy_cost(len(payload))
+            + self.transport.send_message(
+                codec, self.port, dest_addr, dest_port, msg_id, encoded
+            )
+        )
+        self._arm_response_timer(msg_id, dest_addr, dest_port)
+        yield from thread.work(cost)
+        self.transport.kick(dest_addr, msg_id)
+        inbound, wire = yield event
+        decoded = codec.decode(inbound.msg_id, wire)
+        yield from thread.work(
+            self.costs.wakeup
+            + self.costs.syscall
+            + self.costs.homa_recv_extra
+            + self.costs.reassembly_copy_per_byte * len(wire)
+            + self.costs.copy_cost(len(decoded.payload))
+            + decoded.rx_cpu_cost
+        )
+        return decoded.payload
+
+    def _arm_response_timer(self, msg_id: int, dest_addr: int, dest_port: int) -> None:
+        """RPC timeout: if the response never shows, RESEND it (Homa's
+        client-side retry -- covers the all-packets-lost case where the
+        receiver has no inbound state to drive its own resend timer)."""
+        config = self.transport.config
+        interval = config.resend_interval
+        attempts = [0]
+
+        def check() -> None:
+            event = self._pending.get(msg_id)
+            if event is None:
+                return  # response arrived
+            attempts[0] += 1
+            if attempts[0] > config.max_resends:
+                self._pending.pop(msg_id, None)
+                event.fail(TransportError(f"RPC {msg_id} timed out"))
+                return
+            core = self.transport.host.softirq_core_for_flow(
+                dest_addr, dest_port, self.port, self.transport.proto
+            )
+
+            def retry() -> float:
+                # The request itself may have vanished entirely: resend it
+                # alongside asking for the response.
+                cost = self.transport.retransmit_outbound(dest_addr, msg_id)
+                self.transport.request_response_resend(
+                    dest_addr, dest_port, msg_id | 1
+                )
+                return cost
+
+            core.submit(self.costs.homa_grant_tx, retry)
+            self.loop.call_later(interval, check)
+
+        # First check after 2 intervals: give the RPC a full round trip.
+        self.loop.call_later(2 * interval, check)
+
+    def recv_request(self, thread: AppThread) -> Generator[Any, Any, InboundRpc]:
+        """Wait for the next inbound request (decrypt/copy on this thread)."""
+        item = self._rx_requests.try_get()
+        woke = False
+        if item is None:
+            self._reader_blocked = True
+            item = yield self._rx_requests.get()
+            self._reader_blocked = False
+            woke = True
+        inbound, wire = item
+        codec = self.codec_for(inbound.peer_addr, inbound.peer_port)
+        decoded = codec.decode(inbound.msg_id, wire)
+        cost = (
+            self.costs.syscall
+            + self.costs.homa_recv_extra
+            + self.costs.reassembly_copy_per_byte * len(wire)
+            + self.costs.copy_cost(len(decoded.payload))
+            + decoded.rx_cpu_cost
+        )
+        if woke:
+            cost += self.costs.wakeup
+        yield from thread.work(cost)
+        return InboundRpc(inbound.peer_addr, inbound.peer_port, inbound.msg_id, decoded.payload)
+
+    def reply(
+        self, thread: AppThread, rpc: InboundRpc, payload: bytes
+    ) -> Generator[Any, Any, None]:
+        """Send the response for ``rpc``."""
+        if rpc.msg_id & 1:
+            raise TransportError("cannot reply to a response")
+        codec = self.codec_for(rpc.peer_addr, rpc.peer_port)
+        msg_id = rpc.msg_id | 1
+        mss = self.transport.host.nic.mtu_payload
+        encoded = codec.encode(msg_id, payload, mss)
+        cost = (
+            self.costs.syscall
+            + self.costs.homa_send_extra
+            + self.costs.copy_cost(len(payload))
+            + self.transport.send_message(
+                codec, self.port, rpc.peer_addr, rpc.peer_port, msg_id, encoded
+            )
+        )
+        yield from thread.work(cost)
+        self.transport.kick(rpc.peer_addr, msg_id)
+
+    @property
+    def pending_requests(self) -> int:
+        return len(self._rx_requests)

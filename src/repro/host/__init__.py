@@ -1,0 +1,14 @@
+"""Host model: CPU cores, execution contexts, sockets and the cost model.
+
+The simulated host mirrors the paper's testbed configuration (§5): a pool
+of application cores (threads) and a separate pool of softirq (stack)
+cores, a NIC with multiple queues, and a calibrated table of per-operation
+CPU costs.  Latency and throughput numbers emerge from how much virtual
+core time each protocol path charges and where queueing builds up.
+"""
+
+from repro.host.costs import CostModel
+from repro.host.cpu import AppThread, SoftirqCore
+from repro.host.host import Host
+
+__all__ = ["CostModel", "AppThread", "SoftirqCore", "Host"]

@@ -1,0 +1,12 @@
+"""kTLS: TLS 1.3 records over the TCP bytestream (the paper's baseline).
+
+Software mode seals/opens records on the CPU; hardware mode hands
+plaintext records to the NIC's autonomous offload engine exactly like
+Linux kTLS with a ConnectX NIC (paper §2.1/§2.3).  Receive-side
+decryption is always software, matching the paper's setup ("We don't use
+receive-side offload for kTLS", §5).
+"""
+
+from repro.ktls.ktls import KtlsConnection, ktls_pair
+
+__all__ = ["KtlsConnection", "ktls_pair"]

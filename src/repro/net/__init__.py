@@ -1,0 +1,28 @@
+"""Byte-exact packet formats and the wire: links and a simple switch.
+
+Packets carry real header fields and payload bytes; ``encode``/``decode``
+give the exact on-wire layout (tested for round-trip identity), while the
+simulator moves the structured objects for speed.  Links model bandwidth,
+propagation delay, per-priority egress queues (Homa's network priorities)
+and optional loss injection.
+"""
+
+from repro.net.addressing import FlowTuple, format_addr
+from repro.net.headers import IPv4Header, TransportHeader, PacketType, PROTO_TCP, PROTO_SMT, PROTO_HOMA
+from repro.net.packet import Packet
+from repro.net.link import Link
+from repro.net.switch import Switch
+
+__all__ = [
+    "FlowTuple",
+    "format_addr",
+    "IPv4Header",
+    "TransportHeader",
+    "PacketType",
+    "PROTO_TCP",
+    "PROTO_SMT",
+    "PROTO_HOMA",
+    "Packet",
+    "Link",
+    "Switch",
+]

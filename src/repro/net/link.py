@@ -1,0 +1,127 @@
+"""Full-duplex point-to-point link with priority queues and loss injection.
+
+Models the paper's testbed wire: two hosts back-to-back over 100 Gb/s.
+Each direction has one transmitter that serialises packets at link
+bandwidth, draining 8 strict-priority egress queues (Homa's network
+priorities; priority 7 is highest, matching typical DSCP mappings).
+
+``loss_fn`` lets tests inject deterministic loss: it sees every packet
+and returns True to drop it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+from repro.net.packet import Packet
+from repro.sim.event_loop import EventLoop
+from repro.units import GBPS
+
+NUM_PRIORITIES = 8
+
+Receiver = Callable[[Packet], None]
+LossFn = Callable[[Packet], bool]
+
+
+class _Direction:
+    """One direction of the link: priority queues + a serialising server."""
+
+    def __init__(self, loop: EventLoop, bandwidth_bps: float, delay: float):
+        self.loop = loop
+        self.bandwidth = bandwidth_bps
+        self.delay = delay
+        self.queues: list[deque[Packet]] = [deque() for _ in range(NUM_PRIORITIES)]
+        self.busy = False
+        self.receiver: Optional[Receiver] = None
+        self.loss_fn: Optional[LossFn] = None
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        self.dropped = 0
+
+    def enqueue(self, packet: Packet) -> None:
+        prio = packet.transport.priority
+        if not 0 <= prio < NUM_PRIORITIES:
+            raise SimulationError(f"priority {prio} out of range")
+        self.queues[prio].append(packet)
+        if not self.busy:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        packet = self._dequeue()
+        if packet is None:
+            self.busy = False
+            return
+        self.busy = True
+        tx_time = (packet.wire_size * 8) / self.bandwidth
+        self.loop.call_later(tx_time, lambda: self._finish(packet))
+
+    def _dequeue(self) -> Optional[Packet]:
+        for prio in range(NUM_PRIORITIES - 1, -1, -1):
+            if self.queues[prio]:
+                return self.queues[prio].popleft()
+        return None
+
+    def _finish(self, packet: Packet) -> None:
+        self.tx_packets += 1
+        self.tx_bytes += packet.wire_size
+        if self.loss_fn is not None and self.loss_fn(packet):
+            self.dropped += 1
+        else:
+            receiver = self.receiver
+            if receiver is not None:
+                self.loop.call_later(self.delay, lambda: receiver(packet))
+        self._start_next()
+
+    def queued_bytes(self) -> int:
+        return sum(p.wire_size for q in self.queues for p in q)
+
+
+class Link:
+    """A full-duplex link between endpoints "a" and "b"."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        bandwidth_bps: float = 100 * GBPS,
+        delay: float = 1.0e-6,
+        mtu: int = 1500,
+    ):
+        self.loop = loop
+        self.mtu = mtu
+        self._a_to_b = _Direction(loop, bandwidth_bps, delay)
+        self._b_to_a = _Direction(loop, bandwidth_bps, delay)
+
+    def attach(self, side: str, receiver: Receiver) -> None:
+        """Register the packet handler for endpoint ``side`` ('a' or 'b')."""
+        if side == "a":
+            self._b_to_a.receiver = receiver
+        elif side == "b":
+            self._a_to_b.receiver = receiver
+        else:
+            raise SimulationError(f"unknown link side {side!r}")
+
+    def send(self, side: str, packet: Packet) -> None:
+        """Transmit ``packet`` from endpoint ``side``."""
+        # ``mtu`` bounds the IP packet size; TSO must have split already.
+        if packet.size > self.mtu:
+            raise SimulationError(
+                f"packet of {packet.size} B exceeds MTU {self.mtu}; TSO missing?"
+            )
+        direction = self._a_to_b if side == "a" else self._b_to_a
+        direction.enqueue(packet)
+
+    def set_loss_fn(self, side: str, loss_fn: Optional[LossFn]) -> None:
+        """Drop packets transmitted *from* ``side`` when loss_fn returns True."""
+        direction = self._a_to_b if side == "a" else self._b_to_a
+        direction.loss_fn = loss_fn
+
+    def stats(self, side: str) -> dict:
+        direction = self._a_to_b if side == "a" else self._b_to_a
+        return {
+            "tx_packets": direction.tx_packets,
+            "tx_bytes": direction.tx_bytes,
+            "dropped": direction.dropped,
+            "queued_bytes": direction.queued_bytes(),
+        }

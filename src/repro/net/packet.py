@@ -1,0 +1,72 @@
+"""The packet object moved across the simulated wire."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ProtocolError
+from repro.net.addressing import FlowTuple
+from repro.net.headers import (
+    HEADERS_SIZE,
+    IPV4_HEADER_SIZE,
+    IPv4Header,
+    TransportHeader,
+)
+
+ETHERNET_OVERHEAD = 38  # preamble + MAC headers + FCS + IFG, charged on the wire
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One network packet: IPv4 header, transport header, payload bytes.
+
+    ``meta`` carries simulation-only annotations (e.g. which NIC queue and
+    TLS flow context produced the packet) that would not exist on a real
+    wire; nothing protocol-visible may live there.
+    """
+
+    ip: IPv4Header
+    transport: TransportHeader
+    payload: bytes = b""
+    meta: dict = field(default_factory=dict, compare=False)
+
+    @property
+    def size(self) -> int:
+        """IP packet size in bytes (headers + payload)."""
+        return HEADERS_SIZE + len(self.payload)
+
+    @property
+    def wire_size(self) -> int:
+        """Bytes occupying the link, including Ethernet overheads."""
+        return self.size + ETHERNET_OVERHEAD
+
+    @property
+    def flow(self) -> FlowTuple:
+        return FlowTuple(
+            self.ip.src_addr,
+            self.transport.src_port,
+            self.ip.dst_addr,
+            self.transport.dst_port,
+            self.ip.proto,
+        )
+
+    def encode(self) -> bytes:
+        """Exact wire bytes (IPv4 + transport header + payload)."""
+        ip = replace(self.ip, total_len=self.size)
+        return ip.encode() + self.transport.encode() + self.payload
+
+    @staticmethod
+    def decode(data: bytes) -> "Packet":
+        ip = IPv4Header.decode(data)
+        if ip.total_len != len(data):
+            raise ProtocolError(
+                f"IPv4 total_len {ip.total_len} != packet size {len(data)}"
+            )
+        transport = TransportHeader.decode(data[IPV4_HEADER_SIZE:])
+        payload = data[IPV4_HEADER_SIZE + 40 :]
+        return Packet(ip, transport, payload)
+
+    def with_meta(self, **kwargs: object) -> "Packet":
+        meta = dict(self.meta)
+        meta.update(kwargs)
+        return Packet(self.ip, self.transport, self.payload, meta)

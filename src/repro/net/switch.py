@@ -1,0 +1,116 @@
+"""Output-queued switch for multi-host topologies.
+
+The paper's testbed is back-to-back, but the examples and some tests run
+small fan-in scenarios (incast on a key-value store), so the substrate
+includes a minimal switch: ports bound to host addresses, strict-priority
+output queues, bounded buffers with optional NDP-style packet trimming
+(paper §7 notes SMT's compatibility with trimming because transport
+metadata stays in plaintext).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+from repro.net.link import NUM_PRIORITIES
+from repro.net.packet import Packet
+from repro.sim.event_loop import EventLoop
+from repro.units import GBPS
+
+Receiver = Callable[[Packet], None]
+
+
+class _Port:
+    def __init__(self, loop: EventLoop, bandwidth_bps: float, delay: float, buffer_bytes: int):
+        self.loop = loop
+        self.bandwidth = bandwidth_bps
+        self.delay = delay
+        self.buffer_bytes = buffer_bytes
+        self.queues: list[deque[Packet]] = [deque() for _ in range(NUM_PRIORITIES)]
+        self.queued = 0
+        self.busy = False
+        self.receiver: Optional[Receiver] = None
+        self.dropped = 0
+        self.trimmed = 0
+
+
+class Switch:
+    """A single switch with per-destination ports."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        bandwidth_bps: float = 100 * GBPS,
+        delay: float = 0.5e-6,
+        buffer_bytes: int = 128 * 1024,
+        trimming: bool = False,
+    ):
+        self.loop = loop
+        self._bandwidth = bandwidth_bps
+        self._delay = delay
+        self._buffer_bytes = buffer_bytes
+        self.trimming = trimming
+        self._ports: dict[int, _Port] = {}
+
+    def attach(self, addr: int, receiver: Receiver) -> None:
+        """Bind a host address to a switch port delivering via ``receiver``."""
+        port = _Port(self.loop, self._bandwidth, self._delay, self._buffer_bytes)
+        port.receiver = receiver
+        self._ports[addr] = port
+
+    def inject(self, packet: Packet) -> None:
+        """A host hands the switch a packet for forwarding."""
+        port = self._ports.get(packet.ip.dst_addr)
+        if port is None:
+            raise SimulationError(f"no port for destination {packet.ip.dst_addr}")
+        size = packet.wire_size
+        if port.queued + size > port.buffer_bytes:
+            if self.trimming and packet.payload:
+                # NDP-style trimming: drop the payload, forward the headers
+                # at top priority so the receiver learns the sender's demand.
+                # Trimmed headers use a small reserved headroom beyond the
+                # data buffer (NDP keeps a separate priority header queue).
+                packet = Packet(
+                    packet.ip,
+                    packet.transport.with_fields(priority=NUM_PRIORITIES - 1),
+                    b"",
+                    dict(packet.meta, trimmed=True),
+                )
+                port.trimmed += 1
+                size = packet.wire_size
+                headroom = port.buffer_bytes + 8192
+                if port.queued + size > headroom:
+                    port.dropped += 1
+                    return
+            else:
+                port.dropped += 1
+                return
+        prio = packet.transport.priority
+        port.queues[prio].append(packet)
+        port.queued += size
+        if not port.busy:
+            self._start_next(port)
+
+    def _start_next(self, port: _Port) -> None:
+        packet = None
+        for prio in range(NUM_PRIORITIES - 1, -1, -1):
+            if port.queues[prio]:
+                packet = port.queues[prio].popleft()
+                break
+        if packet is None:
+            port.busy = False
+            return
+        port.busy = True
+        port.queued -= packet.wire_size
+        tx_time = (packet.wire_size * 8) / port.bandwidth
+        def finish(pkt: Packet = packet) -> None:
+            if port.receiver is not None:
+                self.loop.call_later(port.delay, lambda: port.receiver(pkt))
+            self._start_next(port)
+        self.loop.call_later(tx_time, finish)
+
+    def stats(self, addr: int) -> dict:
+        port = self._ports[addr]
+        return {"dropped": port.dropped, "trimmed": port.trimmed, "queued": port.queued}

@@ -1,0 +1,36 @@
+"""NIC model: TSO/GSO, autonomous TLS offload, multi-queue transmit.
+
+Reproduces the hardware behaviours the paper's design hinges on:
+
+- TSO replicates the transport header across the packets cut from one
+  segment, increments the IPv4 IPID per packet, and writes sequence
+  numbers only for real TCP (paper §2.2) -- which is why SMT needs the
+  IPID/packet-offset trick.
+- Autonomous TLS offload (paper §2.3/§3.2, after Pismenny et al.) keeps a
+  per-flow-context *expected record sequence number* that self-increments;
+  a segment whose first record does not match must be preceded, in the
+  same queue, by a resync descriptor.  Mismatches without resync produce
+  corrupted ciphertext (Figure 2 "Out-seq"), exactly like the hardware.
+- Descriptor reads are atomic within a queue but not across queues, which
+  is the §3.2 hazard SMT's per-queue flow contexts avoid.
+"""
+
+from repro.nic.tso import TsoMode, TsoSegment, split_segment
+from repro.nic.tls_offload import (
+    FlowContextTable,
+    RecordDescriptor,
+    ResyncDescriptor,
+    TlsOffloadDescriptor,
+)
+from repro.nic.device import Nic
+
+__all__ = [
+    "TsoMode",
+    "TsoSegment",
+    "split_segment",
+    "FlowContextTable",
+    "RecordDescriptor",
+    "ResyncDescriptor",
+    "TlsOffloadDescriptor",
+    "Nic",
+]

@@ -1,0 +1,151 @@
+"""The NIC device: multi-queue transmit rings, TSO, TLS offload, receive.
+
+Transmit rings are drained one descriptor at a time, round-robin across
+non-empty rings.  Within a ring, order is preserved (the hardware
+guarantee resync depends on); across rings there is none (the §3.2
+hazard).  Packet pacing onto the wire is handled by the link's serialiser;
+the NIC adds its fixed pipeline latency and, for offloaded segments, the
+crypto-engine latency.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Generator, Optional, Union
+
+from repro.errors import SimulationError
+from repro.host.costs import CostModel
+from repro.net.headers import HEADERS_SIZE
+from repro.net.link import Link
+from repro.net.packet import Packet
+from repro.nic.tls_offload import FlowContextTable, ResyncDescriptor
+from repro.nic.tso import TsoMode, TsoSegment, gso_split, split_segment
+from repro.sim.event_loop import EventLoop
+from repro.sim.resources import Store
+
+RingItem = Union[ResyncDescriptor, TsoSegment]
+RxHandler = Callable[[Packet], None]
+
+
+class Nic:
+    """One NIC attached to one side of a link."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        link: Link,
+        side: str,
+        costs: CostModel,
+        num_queues: int = 4,
+        tso_mode: TsoMode = TsoMode.FULL,
+        context_capacity: int = 1024,
+    ):
+        self.loop = loop
+        self.link = link
+        self.side = side
+        self.costs = costs
+        self.num_queues = num_queues
+        self.tso_mode = tso_mode
+        self.flow_contexts = FlowContextTable(context_capacity)
+        self._rings: list[deque[RingItem]] = [deque() for _ in range(num_queues)]
+        # One doorbell token per posted descriptor: the engine wakes exactly
+        # once per item and scans rings round-robin.
+        self._doorbell: Store = Store(loop, f"nic.{side}.doorbell")
+        self._rx_handler: Optional[RxHandler] = None
+        self._ipid: dict = {}
+        self.segments_sent = 0
+        self.packets_sent = 0
+        self.records_offloaded = 0
+        link.attach(side, self._on_wire_rx)
+        loop.process(self._engine())
+
+    # -- host-facing API -------------------------------------------------------
+
+    def set_rx_handler(self, handler: RxHandler) -> None:
+        self._rx_handler = handler
+
+    def post(self, queue_id: int, item: RingItem) -> None:
+        """Host enqueues a descriptor (segment or resync) to a tx ring."""
+        if not 0 <= queue_id < self.num_queues:
+            raise SimulationError(f"queue {queue_id} out of range")
+        self._rings[queue_id].append(item)
+        self._doorbell.put(None)
+
+    @property
+    def mtu_payload(self) -> int:
+        """Per-packet payload budget under the link MTU."""
+        return self.link.mtu - HEADERS_SIZE
+
+    # -- engine ------------------------------------------------------------------
+
+    def _engine(self) -> Generator[Any, Any, None]:
+        """Drain rings round-robin, one descriptor per doorbell token."""
+        next_ring = 0
+        while True:
+            yield self._doorbell.get()
+            item = None
+            for i in range(self.num_queues):
+                idx = (next_ring + i) % self.num_queues
+                if self._rings[idx]:
+                    item = self._rings[idx].popleft()
+                    next_ring = (idx + 1) % self.num_queues
+                    break
+            if item is None:
+                raise SimulationError("doorbell rang with empty rings")
+            self._process(item)
+            # Yield a zero-time slot so descriptors posted by other CPU
+            # cores at the same instant interleave across rings -- the
+            # cross-queue non-atomicity of §3.2.
+            yield self.loop.timeout(0)
+
+    def _process(self, item: RingItem) -> None:
+        if isinstance(item, ResyncDescriptor):
+            self.flow_contexts.apply_resync(item)
+            return
+        segment = item
+        latency = self.costs.nic_fixed_latency
+        if segment.tls is not None:
+            encrypted = self.flow_contexts.encrypt_segment(segment.payload, segment.tls)
+            self.records_offloaded += len(segment.tls.records)
+            segment = TsoSegment(
+                segment.src_addr,
+                segment.dst_addr,
+                segment.proto,
+                segment.header,
+                encrypted,
+                segment.mss,
+                tls=None,
+                meta=dict(segment.meta, offloaded=True),
+            )
+            latency += self.costs.nic_crypto_latency
+        self.segments_sent += 1
+        packets = self._segment_to_packets(segment)
+        self.packets_sent += len(packets)
+        for pkt in packets:
+            self.loop.call_later(latency, lambda p=pkt: self.link.send(self.side, p))
+
+    def _segment_to_packets(self, segment: TsoSegment) -> list[Packet]:
+        flow_key = (
+            segment.src_addr,
+            segment.dst_addr,
+            segment.proto,
+            segment.header.src_port,
+            segment.header.dst_port,
+        )
+        sub_segments = [segment]
+        if self.tso_mode is TsoMode.PAIRS and segment.num_packets > 2:
+            sub_segments = gso_split(segment, 2)
+        packets: list[Packet] = []
+        for sub in sub_segments:
+            start = self._ipid.get(flow_key, 0)
+            self._ipid[flow_key] = (start + sub.num_packets) & 0xFFFF
+            packets.extend(split_segment(sub, start))
+        return packets
+
+    # -- receive ------------------------------------------------------------------
+
+    def _on_wire_rx(self, packet: Packet) -> None:
+        handler = self._rx_handler
+        if handler is None:
+            return
+        self.loop.call_later(self.costs.nic_fixed_latency, lambda: handler(packet))

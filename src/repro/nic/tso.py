@@ -1,0 +1,128 @@
+"""TCP Segmentation Offload (and its software fallback, GSO).
+
+A :class:`TsoSegment` is what the host stack hands the NIC: one transport
+header template plus up to 64 KB of payload.  :func:`split_segment` cuts
+it into MTU-sized packets the way real TSO does:
+
+- the transport header is replicated verbatim onto every packet (so the
+  message ID and TSO offset appear in all of them -- paper §2.2),
+- the IPv4 IPID increments by one per packet,
+- sequence numbers are advanced **only for protocol number 6 (TCP)**; for
+  Homa/SMT's protocol numbers the NIC leaves the header untouched, which
+  is precisely why the receiver must reconstruct packet positions from
+  the IPID (paper §4.3),
+- no transport checksum is written for non-TCP protocols (paper §7
+  "Message integrity").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ProtocolError
+from repro.net.headers import HEADERS_SIZE, IPv4Header, PROTO_TCP, TransportHeader
+from repro.net.packet import Packet
+
+MAX_TSO_PAYLOAD = 65536 - HEADERS_SIZE  # classic 64 KB TSO limit
+
+
+class TsoMode(enum.Enum):
+    """Segmentation configurations benchmarked in Figure 11."""
+
+    FULL = "tso"  # NIC splits up to 64 KB segments
+    PAIRS = "tso-pairs"  # two-packet TSO segments, GSO above (paper §7, IPv6)
+    OFF = "off"  # all splitting in software, per-packet CPU cost
+
+
+@dataclass
+class TsoSegment:
+    """One segment queued to the NIC.
+
+    ``tls`` optionally carries a TLS offload descriptor (records to encrypt
+    in-NIC); ``meta`` carries simulation annotations.
+    """
+
+    src_addr: int
+    dst_addr: int
+    proto: int
+    header: TransportHeader
+    payload: bytes
+    mss: int
+    tls: Optional["TlsOffloadDescriptor"] = None  # noqa: F821 (import cycle)
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.payload) > MAX_TSO_PAYLOAD:
+            raise ProtocolError(
+                f"TSO segment payload {len(self.payload)} exceeds {MAX_TSO_PAYLOAD}"
+            )
+        if self.mss <= 0:
+            raise ProtocolError("mss must be positive")
+
+    @property
+    def num_packets(self) -> int:
+        return max(1, (len(self.payload) + self.mss - 1) // self.mss)
+
+
+def split_segment(segment: TsoSegment, start_ipid: int) -> list[Packet]:
+    """Cut a segment into packets exactly like NIC TSO would."""
+    packets: list[Packet] = []
+    payload = segment.payload
+    mss = segment.mss
+    count = segment.num_packets
+    for i in range(count):
+        chunk = payload[i * mss : (i + 1) * mss]
+        header = segment.header
+        if segment.proto == PROTO_TCP and i > 0:
+            # Real TSO advances the TCP sequence number per packet.  Our
+            # TCP carries its (unwrapped) sequence number in msg_id.
+            header = header.with_fields(msg_id=header.msg_id + i * mss)
+        ip = IPv4Header(
+            src_addr=segment.src_addr,
+            dst_addr=segment.dst_addr,
+            proto=segment.proto,
+            total_len=HEADERS_SIZE + len(chunk),
+            ipid=(start_ipid + i) & 0xFFFF,
+        )
+        meta = dict(segment.meta)
+        meta["segment_end"] = i == count - 1  # GRO flushes per TSO burst
+        packets.append(Packet(ip, header, chunk, meta))
+    return packets
+
+
+def gso_split(segment: TsoSegment, packets_per_segment: int) -> list[TsoSegment]:
+    """Software GSO: cut one large segment into smaller TSO segments.
+
+    Used for the paper's two-packet TSO mode (§7 "Segmentation"): GSO
+    splits at the bottom of the stack into ``packets_per_segment``-sized
+    TSO segments whose TSO offsets advance accordingly.
+    """
+    if packets_per_segment < 1:
+        raise ProtocolError("packets_per_segment must be >= 1")
+    step = packets_per_segment * segment.mss
+    if len(segment.payload) <= step:
+        return [segment]
+    out = []
+    for off in range(0, len(segment.payload), step):
+        chunk = segment.payload[off : off + step]
+        header = segment.header.with_fields(
+            tso_offset=segment.header.tso_offset + off
+        )
+        sub_tls = None
+        if segment.tls is not None:
+            sub_tls = segment.tls.slice(off, len(chunk))
+        out.append(
+            TsoSegment(
+                segment.src_addr,
+                segment.dst_addr,
+                segment.proto,
+                header,
+                chunk,
+                segment.mss,
+                tls=sub_tls,
+                meta=dict(segment.meta),
+            )
+        )
+    return out

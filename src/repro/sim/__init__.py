@@ -1,0 +1,23 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic simpy-style engine: a virtual clock, an event queue,
+generator-based processes, and FIFO resources used to model CPU cores and
+serial devices.  All latency/throughput numbers reported by the benchmarks
+come from this virtual clock, never from wall time.
+"""
+
+from repro.sim.event_loop import Event, EventLoop, Process, Interrupt
+from repro.sim.resources import Resource, Store
+from repro.sim.trace import Counter, Histogram, RateMeter
+
+__all__ = [
+    "Event",
+    "EventLoop",
+    "Process",
+    "Interrupt",
+    "Resource",
+    "Store",
+    "Counter",
+    "Histogram",
+    "RateMeter",
+]

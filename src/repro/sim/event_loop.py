@@ -1,0 +1,277 @@
+"""Virtual-time event loop with generator-based processes.
+
+The model is a stripped-down simpy:
+
+- :class:`EventLoop` owns the clock and a priority queue of pending events.
+- :class:`Event` is a one-shot future living on a loop.  Succeeding or
+  failing it schedules its callbacks at the current virtual time.
+- :class:`Process` drives a generator that ``yield``-s events; the process
+  resumes when the yielded event fires.  A process is itself an event that
+  succeeds with the generator's return value.
+
+Determinism: ties in time are broken by insertion order, and nothing in the
+kernel consults wall time or global randomness, so a simulation with a fixed
+seed replays identically.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A one-shot occurrence at some virtual time.
+
+    An event starts *pending*; it is *triggered* once :meth:`succeed` or
+    :meth:`fail` is called, at which point its callbacks run (in registration
+    order) via the loop.  Yielding a failed event inside a process raises the
+    failure in the generator.
+    """
+
+    __slots__ = ("loop", "_callbacks", "_ok", "value", "_triggered")
+
+    def __init__(self, loop: "EventLoop"):
+        self.loop = loop
+        self._callbacks: list[Callable[["Event"], None]] = []
+        self._ok: Optional[bool] = None
+        self.value: Any = None
+        self._triggered = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has succeeded or failed."""
+        return self._triggered
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if not self._triggered:
+            raise SimulationError("event not yet triggered")
+        return bool(self._ok)
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(self)`` when the event triggers (immediately if done)."""
+        if self._triggered:
+            self.loop.call_soon(lambda: fn(self))
+        else:
+            self._callbacks.append(fn)
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Mark the event successful, delivering ``value`` to waiters."""
+        self._trigger(True, value)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Mark the event failed, raising ``exc`` in waiting processes."""
+        if not isinstance(exc, BaseException):
+            raise SimulationError("fail() needs an exception instance")
+        self._trigger(False, exc)
+        return self
+
+    def _trigger(self, ok: bool, value: Any) -> None:
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._ok = ok
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            self.loop.call_soon(lambda fn=fn: fn(self))
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """Drives a generator, resuming it whenever the yielded event fires.
+
+    The process is an :class:`Event` that succeeds with the generator's
+    ``return`` value, or fails with any exception the generator escapes
+    with -- so processes compose (a process can yield another process).
+    """
+
+    __slots__ = ("_gen", "_waiting_on")
+
+    def __init__(self, loop: "EventLoop", gen: Generator[Event, Any, Any]):
+        super().__init__(loop)
+        self._gen = gen
+        self._waiting_on: Optional[Event] = None
+        loop.call_soon(lambda: self._step(None, None))
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield."""
+        if self._triggered:
+            return
+        target = self._waiting_on
+        if target is not None and not target._triggered:
+            # Detach from the event we were waiting for; it may still fire
+            # later but must no longer resume us.
+            try:
+                target._callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        self.loop.call_soon(lambda: self._step(None, Interrupt(cause)))
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        if event.ok:
+            self._step(event.value, None)
+        else:
+            self._step(None, event.value)
+
+    def _step(self, value: Any, exc: Optional[BaseException]) -> None:
+        if self._triggered:
+            return
+        try:
+            if exc is not None:
+                target = self._gen.throw(exc)
+            else:
+                target = self._gen.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            # Process chose not to handle its interrupt: treat as clean exit.
+            self.succeed(None)
+            return
+        except BaseException as failure:  # noqa: BLE001 - fail the process event
+            self.fail(failure)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process yielded {target!r}; processes must yield Events"
+            )
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class EventLoop:
+    """Deterministic virtual-time scheduler."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    # -- scheduling --------------------------------------------------------
+
+    def call_at(self, when: float, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` at virtual time ``when`` (>= now)."""
+        if when < self._now - 1e-15:
+            raise SimulationError(f"cannot schedule in the past ({when} < {self._now})")
+        self._seq += 1
+        heapq.heappush(self._queue, (when, self._seq, fn))
+
+    def call_later(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self.call_at(self._now + delay, fn)
+
+    def call_soon(self, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` at the current time, after already-queued events."""
+        self.call_at(self._now, fn)
+
+    # -- event factories ----------------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh untriggered event on this loop."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Event:
+        """An event that succeeds ``delay`` seconds from now."""
+        ev = Event(self)
+        self.call_later(delay, lambda: ev.succeed(value))
+        return ev
+
+    def process(self, gen: Generator[Event, Any, Any]) -> Process:
+        """Start a process driving ``gen``; returns its completion event."""
+        return Process(self, gen)
+
+    def all_of(self, events: Iterable[Event]) -> Event:
+        """An event succeeding when all ``events`` have succeeded.
+
+        Fails fast with the first failure.  The combined value is the list
+        of individual values in input order.
+        """
+        events = list(events)
+        done = Event(self)
+        remaining = len(events)
+        values: list[Any] = [None] * len(events)
+        if remaining == 0:
+            return done.succeed(values)
+
+        def make_cb(i: int) -> Callable[[Event], None]:
+            def cb(ev: Event) -> None:
+                nonlocal remaining
+                if done.triggered:
+                    return
+                if not ev.ok:
+                    done.fail(ev.value)
+                    return
+                values[i] = ev.value
+                remaining -= 1
+                if remaining == 0:
+                    done.succeed(values)
+
+            return cb
+
+        for i, ev in enumerate(events):
+            ev.add_callback(make_cb(i))
+        return done
+
+    # -- running -------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
+        """Drain the event queue.
+
+        With ``until`` set, stops once the clock would pass it (and advances
+        the clock exactly to ``until``).  Returns the final virtual time.
+        ``max_events`` guards against runaway simulations.
+        """
+        count = 0
+        while self._queue:
+            when, _seq, fn = self._queue[0]
+            if until is not None and when > until:
+                break
+            heapq.heappop(self._queue)
+            self._now = when
+            fn()
+            count += 1
+            if count > max_events:
+                raise SimulationError(f"exceeded {max_events} events; runaway simulation?")
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+    def run_process(self, gen: Generator[Event, Any, Any], timeout: Optional[float] = None) -> Any:
+        """Run ``gen`` as a process to completion and return its value.
+
+        Convenience for tests and benchmarks.  Raises if the process fails
+        or the queue drains before the process finishes.
+        """
+        proc = self.process(gen)
+        self.run(until=None if timeout is None else self._now + timeout)
+        if not proc.triggered:
+            raise SimulationError("process did not complete (deadlock or timeout)")
+        if not proc.ok:
+            raise proc.value
+        return proc.value
+
+    def pending_events(self) -> int:
+        """Number of not-yet-dispatched events (for tests)."""
+        return len(self._queue)

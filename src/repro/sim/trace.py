@@ -1,0 +1,129 @@
+"""Measurement helpers: counters, histograms with percentiles, rate meters.
+
+Benchmarks use these to report the same statistics the paper does: average
+and tail (P50/P99) latency, request rates, and CPU utilisation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+
+class Counter:
+    """A named monotonically increasing counter."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.value = 0
+
+    def add(self, n: int = 1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """Collects samples and reports mean/percentiles.
+
+    Keeps raw samples; simulations here are small enough (<=10^6 samples)
+    that exact percentiles are affordable and avoid binning artefacts in
+    tail latency, which Figure 9 (P99) depends on.
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._samples: list[float] = []
+
+    def record(self, value: float) -> None:
+        self._samples.append(value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        self._samples.extend(values)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    def mean(self) -> float:
+        if not self._samples:
+            return 0.0
+        return sum(self._samples) / len(self._samples)
+
+    def percentile(self, p: float) -> float:
+        """Exact percentile via linear interpolation (p in [0, 100])."""
+        if not self._samples:
+            return 0.0
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile out of range: {p}")
+        data = sorted(self._samples)
+        if len(data) == 1:
+            return data[0]
+        rank = (p / 100) * (len(data) - 1)
+        lo = math.floor(rank)
+        hi = math.ceil(rank)
+        if lo == hi:
+            return data[lo]
+        frac = rank - lo
+        return data[lo] * (1 - frac) + data[hi] * frac
+
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def stddev(self) -> float:
+        n = len(self._samples)
+        if n < 2:
+            return 0.0
+        mu = self.mean()
+        return math.sqrt(sum((x - mu) ** 2 for x in self._samples) / (n - 1))
+
+
+class RateMeter:
+    """Counts completions over a window to report a rate.
+
+    ``start()`` marks the beginning of the measurement window (e.g. after
+    warm-up) so ramp-up does not pollute throughput numbers.
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.completions = 0
+        self.bytes = 0
+        self._start: Optional[float] = None
+        self._end: Optional[float] = None
+
+    def start(self, now: float) -> None:
+        self._start = now
+        self.completions = 0
+        self.bytes = 0
+
+    def record(self, nbytes: int = 0) -> None:
+        if self._start is None:
+            return  # still warming up
+        self.completions += 1
+        self.bytes += nbytes
+
+    def stop(self, now: float) -> None:
+        self._end = now
+
+    def elapsed(self) -> float:
+        if self._start is None or self._end is None:
+            return 0.0
+        return self._end - self._start
+
+    def rate(self) -> float:
+        """Completions per second over the window."""
+        dt = self.elapsed()
+        return self.completions / dt if dt > 0 else 0.0
+
+    def goodput_bps(self) -> float:
+        """Payload bits per second over the window."""
+        dt = self.elapsed()
+        return (self.bytes * 8) / dt if dt > 0 else 0.0

@@ -1,0 +1,17 @@
+"""A bytestream TCP substrate.
+
+Implements what the paper's comparisons need from TCP: reliable in-order
+delivery with cumulative ACKs, fast retransmit and RTO recovery, TSO
+transmission, per-connection RSS steering (the CPU-core head-of-line
+blocking source, §2), and chunk-aligned transmission so kTLS hardware
+offload can retransmit whole TLS records with resync descriptors.
+
+Congestion control is a static window: the paper's testbed is two hosts
+back-to-back where loss only happens when tests inject it, so the CC
+algorithm is not load-bearing for any reproduced result.
+"""
+
+from repro.tcp.connection import TcpConnection, TxChunk
+from repro.tcp.transport import TcpTransport, connect_pair
+
+__all__ = ["TcpConnection", "TxChunk", "TcpTransport", "connect_pair"]

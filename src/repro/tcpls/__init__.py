@@ -1,0 +1,13 @@
+"""TCPLS baseline (paper §2.1, §5.5).
+
+TCPLS extends TLS 1.3 records with stream multiplexing over TCP.  Two
+properties matter for the paper's comparison: it cannot use NIC TLS
+offload (its custom AEAD nonce construction is incompatible with the
+autonomous-offload engine), and each record carries extra TCPLS framing
+and bookkeeping, making it slightly more expensive than plain kTLS
+software mode.
+"""
+
+from repro.tcpls.tcpls import TcplsConnection, tcpls_pair
+
+__all__ = ["TcplsConnection", "tcpls_pair"]

@@ -1,0 +1,129 @@
+"""Testbed construction: the paper's two-machine back-to-back setup.
+
+One call builds an event loop, two hosts with the paper's core counts
+(12 application + 4 stack cores each, §5), a 100 Gb/s link and two NICs.
+Everything downstream (transports, sessions, applications, benchmarks)
+hangs off a :class:`Testbed`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.host.costs import CostModel
+from repro.host.host import Host
+from repro.net.addressing import make_addr
+from repro.net.link import Link
+from repro.nic.device import Nic
+from repro.nic.tso import TsoMode
+from repro.sim.event_loop import EventLoop
+from repro.units import GBPS
+
+
+@dataclass
+class Testbed:
+    """Two hosts, one link, one loop -- the paper's §5 hardware."""
+
+    __test__ = False  # not a pytest collection target despite the name
+
+    loop: EventLoop
+    link: Link
+    client: Host
+    server: Host
+    rng: random.Random = field(default_factory=lambda: random.Random(0))
+
+    @staticmethod
+    def back_to_back(
+        bandwidth_bps: float = 100 * GBPS,
+        delay: float = 1.0e-6,
+        mtu: int = 1500,
+        num_app_cores: int = 12,
+        num_softirq_cores: int = 4,
+        num_nic_queues: int = 4,
+        tso_mode: TsoMode = TsoMode.FULL,
+        costs: Optional[CostModel] = None,
+        seed: int = 0,
+    ) -> "Testbed":
+        """Build the standard testbed; every knob mirrors a §5 parameter."""
+        loop = EventLoop()
+        link = Link(loop, bandwidth_bps=bandwidth_bps, delay=delay, mtu=mtu)
+        costs = costs or CostModel()
+        client = Host(
+            loop, "client", make_addr(10, 0, 0, 1), costs,
+            num_app_cores=num_app_cores, num_softirq_cores=num_softirq_cores,
+        )
+        server = Host(
+            loop, "server", make_addr(10, 0, 0, 2), costs,
+            num_app_cores=num_app_cores, num_softirq_cores=num_softirq_cores,
+        )
+        client.attach_nic(
+            Nic(loop, link, "a", costs, num_queues=num_nic_queues, tso_mode=tso_mode)
+        )
+        server.attach_nic(
+            Nic(loop, link, "b", costs, num_queues=num_nic_queues, tso_mode=tso_mode)
+        )
+        return Testbed(loop, link, client, server, random.Random(seed))
+
+    def run(self, until: Optional[float] = None) -> float:
+        return self.loop.run(until=until)
+
+
+@dataclass
+class StarTestbed:
+    """N client hosts and one server behind a single switch.
+
+    Built for incast experiments: the clients' combined load funnels into
+    the server's port, where the switch's bounded buffer drops or -- with
+    ``trimming`` -- trims packets NDP-style (paper §7).
+    """
+
+    __test__ = False
+
+    loop: EventLoop
+    fabric: "SwitchFabric"
+    clients: list[Host]
+    server: Host
+
+    @staticmethod
+    def star(
+        num_clients: int,
+        bandwidth_bps: float = 100 * GBPS,
+        mtu: int = 1500,
+        buffer_bytes: int = 128 * 1024,
+        trimming: bool = False,
+        num_app_cores: int = 12,
+        num_softirq_cores: int = 4,
+        tso_mode: TsoMode = TsoMode.FULL,
+        costs: Optional[CostModel] = None,
+    ) -> "StarTestbed":
+        from repro.net.fabric import SwitchFabric
+
+        loop = EventLoop()
+        costs = costs or CostModel()
+        fabric = SwitchFabric(
+            loop, bandwidth_bps=bandwidth_bps, mtu=mtu,
+            buffer_bytes=buffer_bytes, trimming=trimming,
+        )
+        server = Host(
+            loop, "server", make_addr(10, 0, 1, 1), costs,
+            num_app_cores=num_app_cores, num_softirq_cores=num_softirq_cores,
+        )
+        server.attach_nic(
+            Nic(loop, fabric.port(server.addr), "a", costs, tso_mode=tso_mode)
+        )
+        clients = []
+        for i in range(num_clients):
+            client = Host(
+                loop, f"client{i}", make_addr(10, 0, 0, 10 + i), costs,
+                num_app_cores=num_app_cores, num_softirq_cores=num_softirq_cores,
+            )
+            client.attach_nic(
+                Nic(loop, fabric.port(client.addr), "a", costs, tso_mode=tso_mode)
+            )
+            clients.append(client)
+        return StarTestbed(loop, fabric, clients, server)
+
+    def run(self, until: Optional[float] = None) -> float:
+        return self.loop.run(until=until)

@@ -1,0 +1,141 @@
+"""TLS 1.3 record protection (RFC 8446 section 5).
+
+The piece SMT reuses wholesale: an AEAD keyed by a traffic secret, a
+per-record nonce formed by XORing the static IV with the 64-bit record
+sequence number, and the 5-byte record header as associated data.
+
+:class:`RecordProtection` accepts an *explicit* sequence number on both
+seal and open.  TLS/TCP passes a self-incrementing counter; SMT passes its
+composite ``message_id << index_bits | record_index`` value (paper §4.4.1).
+The cryptography is identical -- which is exactly the paper's point: the
+NIC's self-incrementing counter keeps working because the record index
+occupies the low bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto.aead import Aead
+from repro.errors import CryptoError, ProtocolError
+from repro.tls.constants import (
+    CONTENT_APPLICATION_DATA,
+    INNER_TYPE_SIZE,
+    LEGACY_VERSION,
+    MAX_RECORD_PAYLOAD,
+    RECORD_HEADER_SIZE,
+    TAG_SIZE,
+)
+
+
+@dataclass(frozen=True)
+class TLSRecord:
+    """A decrypted record: real content type, plaintext, seqno used."""
+
+    content_type: int
+    payload: bytes
+    seqno: int
+
+
+def encode_record_header(ciphertext_len: int) -> bytes:
+    """Outer header: opaque type 23, legacy version, 2-byte length."""
+    if ciphertext_len > MAX_RECORD_PAYLOAD + INNER_TYPE_SIZE + TAG_SIZE + 256:
+        raise ProtocolError(f"record ciphertext too large: {ciphertext_len}")
+    return bytes(
+        (
+            CONTENT_APPLICATION_DATA,
+            LEGACY_VERSION >> 8,
+            LEGACY_VERSION & 0xFF,
+            ciphertext_len >> 8,
+            ciphertext_len & 0xFF,
+        )
+    )
+
+
+def parse_record_header(data: bytes) -> tuple[int, int]:
+    """Returns (outer content type, ciphertext length)."""
+    if len(data) < RECORD_HEADER_SIZE:
+        raise ProtocolError("truncated record header")
+    if (data[1] << 8 | data[2]) != LEGACY_VERSION:
+        raise ProtocolError("bad legacy version in record header")
+    return data[0], data[3] << 8 | data[4]
+
+
+class RecordProtection:
+    """One direction of record protection (seal or open side of a key).
+
+    ``iv`` is the per-direction write IV from the key schedule; nonces are
+    ``iv XOR pad64(seqno)`` per RFC 8446 section 5.3.
+    """
+
+    def __init__(self, aead: Aead, iv: bytes):
+        if len(iv) != aead.nonce_size:
+            raise CryptoError(f"IV must be {aead.nonce_size} bytes")
+        self._aead = aead
+        self._iv = iv
+        self._next_seqno = 0  # used only when the caller does not pass one
+
+    def nonce_for(self, seqno: int) -> bytes:
+        if not 0 <= seqno < (1 << 64):
+            raise ProtocolError(f"record seqno out of 64-bit range: {seqno}")
+        pad = bytes(len(self._iv) - 8) + seqno.to_bytes(8, "big")
+        return bytes(a ^ b for a, b in zip(self._iv, pad))
+
+    def seal(
+        self,
+        payload: bytes,
+        content_type: int = CONTENT_APPLICATION_DATA,
+        seqno: Optional[int] = None,
+        padding: int = 0,
+    ) -> bytes:
+        """Produce one full record (header + ciphertext + tag).
+
+        ``padding`` adds that many zero bytes inside the AEAD envelope for
+        length concealment (paper §6.1).  When ``seqno`` is omitted the
+        internal self-incrementing counter is used (the TLS/TCP behaviour).
+        """
+        if len(payload) > MAX_RECORD_PAYLOAD:
+            raise ProtocolError(
+                f"record payload {len(payload)} exceeds {MAX_RECORD_PAYLOAD}"
+            )
+        if seqno is None:
+            seqno = self._next_seqno
+            self._next_seqno += 1
+        inner = payload + bytes((content_type,)) + bytes(padding)
+        header = encode_record_header(len(inner) + TAG_SIZE)
+        ciphertext = self._aead.seal(self.nonce_for(seqno), inner, aad=header)
+        return header + ciphertext
+
+    def open(self, record: bytes, seqno: Optional[int] = None) -> TLSRecord:
+        """Decrypt one full record; raises AuthenticationError on tampering.
+
+        Strips inner padding and recovers the true content type.  With no
+        explicit ``seqno`` the internal counter is used and advanced only on
+        success, matching TLS/TCP's reject-then-desynchronise behaviour.
+        """
+        explicit = seqno is not None
+        if seqno is None:
+            seqno = self._next_seqno
+        outer_type, ct_len = parse_record_header(record)
+        if outer_type != CONTENT_APPLICATION_DATA:
+            raise ProtocolError(f"unexpected outer content type {outer_type}")
+        body = record[RECORD_HEADER_SIZE:]
+        if len(body) != ct_len:
+            raise ProtocolError("record length field mismatch")
+        header = record[:RECORD_HEADER_SIZE]
+        inner = self._aead.open(self.nonce_for(seqno), body, aad=header)
+        if not explicit:
+            self._next_seqno += 1
+        # Strip zero padding back to the content-type byte.
+        end = len(inner)
+        while end > 0 and inner[end - 1] == 0:
+            end -= 1
+        if end == 0:
+            raise ProtocolError("record with no content type")
+        return TLSRecord(content_type=inner[end - 1], payload=inner[: end - 1], seqno=seqno)
+
+    @property
+    def next_seqno(self) -> int:
+        """The next implicit sequence number (TLS/TCP mode)."""
+        return self._next_seqno

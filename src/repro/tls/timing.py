@@ -1,0 +1,141 @@
+"""Virtual-time costs for handshake operations (paper Table 2).
+
+The handshake state machines emit a trace of operation ids (S1, S2.1, ...,
+C5).  This module prices each op in virtual microseconds.  Base costs are
+calibrated to the paper's measured picotls numbers on Xeon Silver 4314
+(Table 2); parameterised ops scale with configuration:
+
+- ``S2.5`` / ``C4.2`` depend on the signature algorithm (256-bit ECDSA vs
+  2048-bit RSA -- the paper's asterisk/plus columns),
+- ``C3.2`` scales with certificate chain length, and the §4.5.1
+  "short certificate chain" configuration cuts it by the paper's measured
+  ~52 %,
+- pre-generated key pairs simply never emit S2.1/C1.1, so their cost
+  disappears from the trace (paper §4.5.1).
+
+The *composition* -- which ops a given handshake variant performs -- comes
+from actually running the handshake, so Fig. 12's comparisons emerge from
+mechanism, not from copied totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.crypto.cert import KEY_ALG_ECDSA, KEY_ALG_RSA
+from repro.errors import ProtocolError
+from repro.tls.handshake import TraceOp
+from repro.units import USEC
+
+# Fixed per-op costs in microseconds (Table 2, ECDSA column where split).
+_BASE_COSTS_US: dict[str, float] = {
+    "S1": 1.8,  # Process CHLO
+    "S2.1": 67.9,  # Key Gen
+    "S2.2": 265.0,  # ECDH Exchange
+    "S2.3": 75.2,  # SHLO Gen
+    "S2.4": 13.6,  # EE & Cert Encode
+    "S2.6": 48.6,  # Secret Derive
+    "S3": 44.4,  # Process Finished
+    "C1.1": 61.3,  # Key Gen
+    "C1.2": 5.5,  # Others Gen
+    "C2.1": 2.6,  # Process SHLO
+    "C2.2": 88.7,  # ECDH Exchange
+    "C2.3": 48.8,  # Secret Derive
+    "C3.1": 0.1,  # Decode Cert
+    "C4.1": 1.4,  # Build Sign Data
+    "C5": 42.6,  # Process Finished
+}
+
+# Signature generation (S2.5 "CertVerify Gen") and verification (C4.2).
+_SIGN_COST_US = {KEY_ALG_ECDSA: 137.6, KEY_ALG_RSA: 1344.0}
+_VERIFY_COST_US = {KEY_ALG_ECDSA: 196.3, KEY_ALG_RSA: 67.1}
+
+# Certificate verification: the paper's 483.4 us C3.2 covers lookup plus a
+# chain of signature checks; a short chain with a pre-installed CA key is
+# ~52 % faster (§4.5.1).  We model C3.2 as a fixed lookup/validation part
+# plus one signature verify per chain link.
+_CERT_VERIFY_BASE_US = 483.4 - 196.3  # non-signature share for a 1-link chain
+_SHORT_CHAIN_FACTOR = 0.48  # "speeds up Verify Cert by approximately 52 %"
+
+OPERATION_NAMES: dict[str, str] = {
+    "S1": "Process CHLO",
+    "S2.1": "Key Gen",
+    "S2.2": "ECDH Exchange",
+    "S2.3": "SHLO Gen",
+    "S2.4": "EE & Cert Encode",
+    "S2.5": "CertVerify Gen",
+    "S2.6": "Secret Derive",
+    "S3": "Process Finished",
+    "C1.1": "Key Gen",
+    "C1.2": "Others Gen",
+    "C2.1": "Process SHLO",
+    "C2.2": "ECDH Exchange",
+    "C2.3": "Secret Derive",
+    "C3.1": "Decode Cert",
+    "C3.2": "Verify Cert",
+    "C4.1": "Build Sign Data",
+    "C4.2": "Verify CertVerify",
+    "C5": "Process Finished",
+    "C-sign": "Client CertVerify Gen",
+    "S-verify-cert": "Verify Client Cert",
+    "S-verify-sig": "Verify Client CertVerify",
+}
+
+
+@dataclass
+class HandshakeCostModel:
+    """Prices handshake trace ops in virtual seconds."""
+
+    overrides_us: dict[str, float] = field(default_factory=dict)
+
+    def op_cost(self, op: TraceOp) -> float:
+        """Virtual seconds for one trace op."""
+        if op.op_id in self.overrides_us:
+            return self.overrides_us[op.op_id] * USEC
+        if op.op_id in _BASE_COSTS_US:
+            return _BASE_COSTS_US[op.op_id] * USEC
+        if op.op_id in ("S2.5", "C-sign"):
+            return _SIGN_COST_US[op.detail["alg"]] * USEC
+        if op.op_id in ("C4.2", "S-verify-sig"):
+            return _VERIFY_COST_US[op.detail["alg"]] * USEC
+        if op.op_id in ("C3.2", "S-verify-cert"):
+            chain_len = op.detail.get("chain_len", 1)
+            cost = _CERT_VERIFY_BASE_US + 196.3 * chain_len
+            if op.detail.get("short_chain"):
+                cost *= _SHORT_CHAIN_FACTOR
+            return cost * USEC
+        raise ProtocolError(f"no cost for handshake op {op.op_id!r}")
+
+    def op_cost_for(self, op_id: str, **detail: object) -> float:
+        """Cost of a single op by id (composition helpers, Fig. 12)."""
+        return self.op_cost(TraceOp(op_id, detail))
+
+    def total(self, trace: Iterable[TraceOp]) -> float:
+        """Virtual seconds for a whole trace."""
+        return sum(self.op_cost(op) for op in trace)
+
+    def breakdown(self, trace: Iterable[TraceOp]) -> list[tuple[str, str, float]]:
+        """(op_id, human name, microseconds) rows in trace order."""
+        rows = []
+        for op in trace:
+            name = OPERATION_NAMES.get(op.op_id, op.op_id)
+            rows.append((op.op_id, name, self.op_cost(op) / USEC))
+        return rows
+
+
+class HandshakeTimer:
+    """Accumulates priced handshake time for one endpoint."""
+
+    def __init__(self, model: HandshakeCostModel | None = None):
+        self.model = model or HandshakeCostModel()
+        self.total_time = 0.0
+        self.ops: list[TraceOp] = []
+
+    def charge(self, trace: list[TraceOp], already_charged: int = 0) -> float:
+        """Price ops beyond ``already_charged`` and return their sum."""
+        new_ops = trace[already_charged:]
+        cost = self.model.total(new_ops)
+        self.ops.extend(new_ops)
+        self.total_time += cost
+        return cost

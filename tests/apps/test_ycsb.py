@@ -1,0 +1,101 @@
+"""YCSB workload generator tests."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.apps.ycsb import (
+    WORKLOADS,
+    LatestGenerator,
+    YcsbWorkload,
+    ZipfianGenerator,
+    key_bytes,
+)
+
+
+class TestZipfian:
+    def test_range(self):
+        gen = ZipfianGenerator(1000, random.Random(1))
+        for _ in range(1000):
+            assert 0 <= gen.next() < 1000
+
+    def test_skew_towards_head(self):
+        gen = ZipfianGenerator(10_000, random.Random(1))
+        counts = Counter(gen.next() for _ in range(20_000))
+        head = sum(counts[i] for i in range(10))
+        # With theta=0.99, the top-10 items draw a large share.
+        assert head / 20_000 > 0.25
+
+    def test_rank_frequency_monotone_ish(self):
+        gen = ZipfianGenerator(100, random.Random(2))
+        counts = Counter(gen.next() for _ in range(50_000))
+        assert counts[0] > counts[10] > counts[90]
+
+    def test_single_item(self):
+        gen = ZipfianGenerator(1, random.Random(1))
+        assert gen.next() == 0
+
+    def test_deterministic(self):
+        a = ZipfianGenerator(100, random.Random(7))
+        b = ZipfianGenerator(100, random.Random(7))
+        assert [a.next() for _ in range(50)] == [b.next() for _ in range(50)]
+
+
+class TestLatest:
+    def test_skews_to_recent(self):
+        gen = LatestGenerator(1000, random.Random(1))
+        samples = [gen.next() for _ in range(10_000)]
+        recent = sum(1 for s in samples if s >= 900)
+        assert recent / 10_000 > 0.4
+
+    def test_insert_extends_range(self):
+        gen = LatestGenerator(10, random.Random(1))
+        new_index = gen.insert()
+        assert new_index == 10
+        assert gen.count == 11
+
+
+class TestWorkloads:
+    def test_four_workloads_defined(self):
+        assert set(WORKLOADS) == {"A", "B", "C", "D"}
+
+    def test_mixes_sum_to_one(self):
+        for spec in WORKLOADS.values():
+            total = spec.read_fraction + spec.update_fraction + spec.insert_fraction
+            assert total == pytest.approx(1.0)
+
+    def test_workload_a_mix(self):
+        wl = YcsbWorkload(WORKLOADS["A"], 1000, 100, random.Random(3))
+        ops = Counter(wl.next_op()[0] for _ in range(10_000))
+        assert 0.45 < ops["read"] / 10_000 < 0.55
+        assert 0.45 < ops["update"] / 10_000 < 0.55
+
+    def test_workload_c_read_only(self):
+        wl = YcsbWorkload(WORKLOADS["C"], 1000, 100, random.Random(3))
+        ops = Counter(wl.next_op()[0] for _ in range(5_000))
+        assert ops == Counter(read=5_000)
+
+    def test_workload_d_inserts(self):
+        wl = YcsbWorkload(WORKLOADS["D"], 1000, 100, random.Random(3))
+        ops = Counter(wl.next_op()[0] for _ in range(10_000))
+        assert 0.03 < ops["insert"] / 10_000 < 0.07
+        assert ops["update"] == 0
+
+    def test_update_values_sized(self):
+        wl = YcsbWorkload(WORKLOADS["A"], 1000, 256, random.Random(3))
+        while True:
+            op, key, value = wl.next_op()
+            if op == "update":
+                assert len(value) == 256
+                break
+
+    def test_initial_data(self):
+        wl = YcsbWorkload(WORKLOADS["B"], 100, 64, random.Random(3))
+        data = wl.initial_data()
+        assert len(data) == 100
+        assert all(len(v) == 64 for v in data.values())
+
+    def test_keys_fixed_width(self):
+        assert key_bytes(0) == b"user000000000000"
+        assert len(key_bytes(999999)) == len(key_bytes(0))

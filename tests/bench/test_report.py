@@ -1,0 +1,77 @@
+"""Report helpers: tables, band checks, improvement math."""
+
+import pytest
+
+from repro.bench.report import (
+    BandCheck,
+    ExperimentReport,
+    format_table,
+    improvement,
+    latency_reduction,
+)
+
+
+class TestBandCheck:
+    def test_inside_band(self):
+        assert BandCheck("x", 10, 5, 15).ok
+
+    def test_outside_band(self):
+        assert not BandCheck("x", 20, 5, 15).ok
+
+    def test_slack_widens(self):
+        # band span 10, slack 0.5 -> +/- 5 beyond the edges.
+        assert BandCheck("x", 19, 5, 15, slack=0.5).ok
+        assert not BandCheck("x", 21, 5, 15, slack=0.5).ok
+
+    def test_exact_edges(self):
+        assert BandCheck("x", 5, 5, 15).ok
+        assert BandCheck("x", 15, 5, 15).ok
+
+    def test_describe_mentions_verdict(self):
+        assert "OK" in BandCheck("x", 10, 5, 15).describe()
+        assert "MISS" in BandCheck("x", 99, 5, 15).describe()
+
+
+class TestReport:
+    def test_fraction_in_band(self):
+        report = ExperimentReport("t")
+        report.check("a", 10, 5, 15)
+        report.check("b", 99, 5, 15)
+        assert report.fraction_in_band() == 0.5
+        assert len(report.misses) == 1
+
+    def test_empty_report_is_fully_in_band(self):
+        assert ExperimentReport("t").fraction_in_band() == 1.0
+
+    def test_render_includes_tables_and_checks(self):
+        report = ExperimentReport("my title")
+        report.add_table(["a", "b"], [(1, 2.5)])
+        report.check("c", 1, 0, 2)
+        rendered = report.render()
+        assert "my title" in rendered and "2.5" in rendered and "[OK" in rendered
+
+
+class TestFormatting:
+    def test_table_alignment(self):
+        out = format_table(["col", "value"], [("x", 1.0), ("longer", 22.5)])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_floats_rounded(self):
+        out = format_table(["v"], [(1.23456,)])
+        assert "1.2" in out and "1.2345" not in out
+
+
+class TestMath:
+    def test_improvement(self):
+        assert improvement(120, 100) == pytest.approx(20.0)
+        assert improvement(100, 0) == 0.0
+
+    def test_latency_reduction(self):
+        assert latency_reduction(100, 80) == pytest.approx(20.0)
+        assert latency_reduction(0, 80) == 0.0
+
+    def test_semantics_differ(self):
+        # 80 vs 100: 20% lower latency but 25% higher rate if inverted.
+        assert latency_reduction(100, 80) != improvement(100, 80)

@@ -1,0 +1,78 @@
+"""Runner sanity: every system's RPC stack works and measures sensibly."""
+
+import pytest
+
+from repro.bench.runner import (
+    SYSTEMS,
+    build_rpc_harness,
+    throughput,
+    unloaded_rtt,
+)
+
+
+class TestHarness:
+    @pytest.mark.parametrize("system", SYSTEMS)
+    def test_echo_roundtrip(self, system):
+        harness = build_rpc_harness(system)
+        bed = harness.bed
+        call = harness.call_factory(0)
+        out = {}
+
+        def body():
+            out["r"] = yield from call(bytes(256), 256)
+
+        done = bed.loop.process(body())
+        bed.loop.run(until=5.0)
+        assert done.triggered and done.ok, getattr(done, "value", "deadlock")
+        assert len(out["r"]) == 256
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ValueError):
+            build_rpc_harness("quic")
+
+    @pytest.mark.parametrize("system", ["smt-sw", "ktls-sw"])
+    def test_asymmetric_response_size(self, system):
+        harness = build_rpc_harness(system)
+        call = harness.call_factory(0)
+        out = {}
+
+        def body():
+            out["r"] = yield from call(bytes(64), 4096)
+
+        done = harness.bed.loop.process(body())
+        harness.bed.loop.run(until=5.0)
+        assert done.ok and len(out["r"]) == 4096
+
+
+class TestMeasurements:
+    def test_unloaded_rtt_returns_sane_values(self):
+        result = unloaded_rtt("homa", 64, repetitions=5)
+        assert 5 < result.mean_us < 100
+        assert result.samples == 5
+        assert result.p99 >= result.mean
+
+    def test_rtt_grows_with_size(self):
+        small = unloaded_rtt("smt-sw", 64, repetitions=5).mean
+        large = unloaded_rtt("smt-sw", 30_000, repetitions=5).mean
+        assert large > small
+
+    def test_throughput_measures_rate(self):
+        result = throughput("homa", 64, 20, duration=1e-3, warmup=0.3e-3)
+        assert result.rate > 50e3
+        assert 0 < result.server_cpu < 1
+        assert 0 < result.client_cpu < 1
+
+    def test_more_concurrency_not_slower_when_unsaturated(self):
+        low = throughput("homa", 64, 4, duration=1e-3).rate
+        high = throughput("homa", 64, 32, duration=1e-3).rate
+        assert high > low
+
+    def test_rate_limit_caps_offered_load(self):
+        limited = throughput("homa", 64, 50, duration=2e-3, rate_limit=100e3)
+        assert limited.rate < 130e3
+
+    def test_deterministic_given_seed(self):
+        a = throughput("smt-sw", 64, 20, duration=1e-3)
+        b = throughput("smt-sw", 64, 20, duration=1e-3)
+        assert a.rate == b.rate
+        assert a.mean_latency == b.mean_latency

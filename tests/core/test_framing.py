@@ -1,0 +1,106 @@
+"""Offload-friendly framing tests (paper §4.3, Figure 3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.framing import RECORD_OVERHEAD, plan_message, segment_capacity
+from repro.errors import ProtocolError
+from repro.tls.constants import MAX_RECORD_PAYLOAD
+
+
+class TestSegmentCapacity:
+    def test_whole_packets(self):
+        cap = segment_capacity(1440)
+        assert cap % 1440 == 0
+        assert cap <= 65536 - 60
+
+    def test_jumbo_mtu(self):
+        cap = segment_capacity(8940)
+        assert cap % 8940 == 0
+
+    def test_tiny_mss_rejected(self):
+        with pytest.raises(ProtocolError):
+            segment_capacity(RECORD_OVERHEAD)
+
+
+class TestPlanInvariants:
+    def _check(self, payload_len, mss=1440, max_record=MAX_RECORD_PAYLOAD):
+        plan = plan_message(payload_len, mss, max_record)
+        cap = segment_capacity(mss)
+        # 1. plaintext fully covered, in order, no overlap
+        expected_offset = 0
+        indices = []
+        for seg in plan.segments:
+            for rec in seg.records:
+                assert rec.plaintext_offset == expected_offset
+                expected_offset += rec.plaintext_len
+                assert 1 <= rec.plaintext_len <= max_record
+                indices.append(rec.index)
+        assert expected_offset == payload_len
+        # 2. record indices are 0..n-1 (the composite low bits)
+        assert indices == list(range(len(indices)))
+        # 3. records align inside segments, never straddling
+        for seg in plan.segments:
+            pos = 0
+            for rec in seg.records:
+                assert rec.segment_offset == pos
+                pos += rec.wire_len
+            assert pos == seg.wire_len
+            assert seg.wire_len <= cap
+        # 4. uniform segment boundaries: all but last exactly cap
+        for seg in plan.segments[:-1]:
+            assert seg.wire_len == cap
+        # 5. TSO offsets contiguous
+        expected = 0
+        for seg in plan.segments:
+            assert seg.tso_offset == expected
+            expected += seg.wire_len
+        assert plan.wire_len == expected
+        return plan
+
+    def test_single_small_record(self):
+        plan = self._check(64)
+        assert plan.num_records == 1
+        assert plan.wire_len == 64 + RECORD_OVERHEAD
+
+    def test_one_full_record(self):
+        self._check(MAX_RECORD_PAYLOAD)
+
+    def test_multi_record_single_segment(self):
+        self._check(40_000)
+
+    def test_multi_segment(self):
+        plan = self._check(200_000)
+        assert len(plan.segments) > 1
+
+    def test_paper_figure3_one_record_three_packets(self):
+        # Figure 3's example: one TLS record split into 3 packets.
+        plan = self._check(3 * 1380 - RECORD_OVERHEAD)
+        assert plan.num_records == 1
+
+    def test_empty_message_rejected(self):
+        with pytest.raises(ProtocolError):
+            plan_message(0, 1440)
+
+    def test_small_records_config(self):
+        plan = self._check(10_000, max_record=1000)
+        assert plan.num_records == 10
+
+    def test_jumbo_mtu_plan(self):
+        self._check(100_000, mss=8940)
+
+    @given(
+        st.integers(min_value=1, max_value=2_000_000),
+        st.sampled_from([536, 1440, 8940]),
+        st.sampled_from([1000, 4096, MAX_RECORD_PAYLOAD]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_invariants_property(self, payload_len, mss, max_record):
+        self._check(payload_len, mss, max_record)
+
+    def test_record_overhead_constant(self):
+        # 5-byte header + 1 content-type byte + 16-byte tag (Figure 3 notes
+        # "TLS record header is actually 5 B and the authentication tag is
+        # 16 B").
+        assert RECORD_OVERHEAD == 5 + 1 + 16

@@ -1,0 +1,102 @@
+"""Length concealment tests (paper §6.1).
+
+With padding enabled, the plaintext msg_len field reveals only the padded
+bucket; the true length is recovered at decryption.
+"""
+
+import pytest
+
+from repro.core.codec import SmtCodec
+from repro.core.session import SmtSession
+from repro.errors import ProtocolError
+from repro.host.costs import CostModel
+from repro.tls.keyschedule import TrafficKeys
+
+MSS = 1440
+
+
+def make_pair(pad_to=0):
+    cw = TrafficKeys(key=b"\x01" * 16, iv=b"\x02" * 12)
+    sw = TrafficKeys(key=b"\x03" * 16, iv=b"\x04" * 12)
+    costs = CostModel()
+    sender = SmtCodec(SmtSession(cw, sw), costs, pad_to=pad_to)
+    receiver = SmtCodec(SmtSession(sw, cw), costs, pad_to=pad_to)
+    return sender, receiver
+
+
+def wire_of(encoded):
+    return b"".join(p.payload for p in encoded.plans)
+
+
+class TestPadding:
+    @pytest.mark.parametrize("size", [1, 17, 100, 256, 1000, 5000])
+    def test_roundtrip(self, size):
+        sender, receiver = make_pair(pad_to=256)
+        payload = bytes(i & 0xFF for i in range(size))
+        encoded = sender.encode(2, payload, MSS)
+        assert receiver.decode(2, wire_of(encoded)).payload == payload
+
+    def test_sizes_within_bucket_indistinguishable(self):
+        # The concealment property: any two messages in the same bucket
+        # produce identical wire lengths and msg_len fields.
+        sender, _ = make_pair(pad_to=256)
+        wire_lens = {
+            sender.encode(2 * (i + 1), bytes(size), MSS).wire_len
+            for i, size in enumerate((1, 50, 100, 200, 251))
+        }
+        assert len(wire_lens) == 1
+
+    def test_bucket_boundaries_differ(self):
+        sender, _ = make_pair(pad_to=256)
+        small = sender.encode(2, bytes(100), MSS).wire_len
+        large = sender.encode(4, bytes(300), MSS).wire_len
+        assert large > small
+
+    def test_wire_length_is_bucket_plus_overhead(self):
+        from repro.core.framing import RECORD_OVERHEAD
+
+        sender, _ = make_pair(pad_to=512)
+        encoded = sender.encode(2, bytes(10), MSS)
+        # 4-byte length prefix + 10 bytes -> one 512-byte bucket + 1 record.
+        assert encoded.wire_len == 512 + RECORD_OVERHEAD
+
+    def test_no_padding_passthrough(self):
+        sender, receiver = make_pair(pad_to=0)
+        encoded = sender.encode(2, b"exact", MSS)
+        assert receiver.decode(2, wire_of(encoded)).payload == b"exact"
+
+    def test_mismatched_padding_config_fails_safely(self):
+        # A receiver without padding configured sees the framed payload.
+        sender, _ = make_pair(pad_to=256)
+        _, plain_receiver = make_pair(pad_to=0)
+        encoded = sender.encode(2, b"hello", MSS)
+        decoded = plain_receiver.decode(2, wire_of(encoded))
+        # It gets the padded frame, not a crash, and not the bare payload.
+        assert len(decoded.payload) == 256
+        assert decoded.payload[4:9] == b"hello"
+
+    def test_corrupt_length_field_rejected(self):
+        sender, receiver = make_pair(pad_to=256)
+        # Craft a padding frame whose length field exceeds the content.
+        bogus = (1000).to_bytes(4, "big") + bytes(60)
+        with pytest.raises(ProtocolError):
+            receiver._unpad(bogus)
+
+    def test_padding_with_offload_layout(self):
+        from repro.testbed import Testbed
+
+        bed = Testbed.back_to_back()
+        cw = TrafficKeys(key=b"\x01" * 16, iv=b"\x02" * 12)
+        sw = TrafficKeys(key=b"\x03" * 16, iv=b"\x04" * 12)
+        sender = SmtCodec(
+            SmtSession(cw, sw, offload=True, nic=bed.client.nic),
+            bed.client.costs, pad_to=128,
+        )
+        receiver = SmtCodec(SmtSession(sw, cw), bed.client.costs, pad_to=128)
+        encoded = sender.encode(2, b"offloaded+padded", MSS)
+        sender.session.ensure_context(encoded.nic_queue)
+        wire = b"".join(
+            bed.client.nic.flow_contexts.encrypt_segment(p.payload, p.tls)
+            for p in encoded.plans
+        )
+        assert receiver.decode(2, wire).payload == b"offloaded+padded"

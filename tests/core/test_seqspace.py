@@ -1,0 +1,107 @@
+"""Composite record sequence number tests (paper §4.4.1, Figures 4-5)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.seqspace import BitAllocation, tradeoff_curve
+from repro.errors import ProtocolError
+from repro.units import GB, KB, MB
+
+
+class TestDefaultAllocation:
+    def test_default_split_is_48_16(self):
+        alloc = BitAllocation()
+        assert alloc.msg_id_bits == 48
+        assert alloc.record_index_bits == 16
+
+    def test_paper_capacity_claims(self):
+        # §4.4.1: 48-bit IDs leave 16 bits -> "up to 65K individual TLS
+        # records, supporting message sizes up to approximately 98 MB even
+        # with 1.5 KB (small) TLS records, and approximately 1 GB with
+        # 16 KB one".
+        alloc = BitAllocation(48)
+        assert alloc.max_records_per_message == 65536
+        small = alloc.max_message_size(record_payload=1536)
+        big = alloc.max_message_size()
+        assert 90 * MB < small < 110 * MB
+        assert 0.9 * GB < big < 1.1 * GB
+
+    def test_homa_default_message_fits_comfortably(self):
+        # Homa's default max message is 1 MB (§4.4.1).
+        assert BitAllocation(48).max_message_size(1536) > 1 * MB
+
+
+class TestEncodeDecode:
+    def test_low_bits_hold_record_index(self):
+        # The NIC's self-incrementing counter must keep working: adjacent
+        # records of one message differ by exactly 1 in the composite.
+        alloc = BitAllocation(48)
+        a = alloc.encode(7, 0)
+        b = alloc.encode(7, 1)
+        assert b == a + 1
+
+    def test_messages_never_collide(self):
+        alloc = BitAllocation(48)
+        last_of_msg1 = alloc.encode(1, alloc.max_records_per_message - 1)
+        first_of_msg2 = alloc.encode(2, 0)
+        assert first_of_msg2 == last_of_msg1 + 1
+
+    def test_decode_inverts_encode(self):
+        alloc = BitAllocation(40)
+        seq = alloc.encode(123456, 789)
+        decoded = alloc.decode(seq)
+        assert decoded.msg_id == 123456 and decoded.record_index == 789
+
+    def test_msg_id_overflow_rejected(self):
+        alloc = BitAllocation(8)
+        with pytest.raises(ProtocolError):
+            alloc.encode(256, 0)
+
+    def test_record_index_overflow_rejected(self):
+        alloc = BitAllocation(60)
+        with pytest.raises(ProtocolError):
+            alloc.encode(0, 16)
+
+    def test_seqno_out_of_range_rejected(self):
+        with pytest.raises(ProtocolError):
+            BitAllocation().decode(1 << 64)
+
+    def test_invalid_bit_splits_rejected(self):
+        for bad in (0, 64, -3):
+            with pytest.raises(ProtocolError):
+                BitAllocation(bad)
+
+    @given(
+        st.integers(min_value=1, max_value=63),
+        st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bijection_property(self, bits, data):
+        alloc = BitAllocation(bits)
+        msg_id = data.draw(st.integers(0, alloc.max_message_ids - 1))
+        index = data.draw(st.integers(0, alloc.max_records_per_message - 1))
+        seq = alloc.encode(msg_id, index)
+        assert seq < (1 << 64)
+        decoded = alloc.decode(seq)
+        assert (decoded.msg_id, decoded.record_index) == (msg_id, index)
+
+
+class TestTradeoffCurve:
+    def test_figure5_shape(self):
+        # More ID bits -> more messages, smaller max message size.
+        rows = tradeoff_curve(record_payload=16 * KB)
+        ids = [r[1] for r in rows]
+        sizes = [r[2] for r in rows]
+        assert ids == sorted(ids)
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_curve_endpoints(self):
+        rows = tradeoff_curve(record_payload=16 * KB)
+        assert rows[0] == (1, 2, (1 << 63) * 16 * KB)
+        assert rows[-1][0] == 63 and rows[-1][1] == 1 << 63
+
+    def test_product_is_constant(self):
+        # IDs x records is always 2^64: the bits just move.
+        for bits, ids, size in tradeoff_curve(record_payload=1):
+            assert ids * size == 1 << 64

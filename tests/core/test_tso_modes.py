@@ -1,0 +1,70 @@
+"""Integration tests across TSO modes (paper §7 "Segmentation")."""
+
+import pytest
+
+from repro.bench.runner import build_rpc_harness
+from repro.core.framing import plan_message, segment_capacity
+from repro.nic.tso import TsoMode
+
+
+def run_echo(system, size, tso_mode):
+    harness = build_rpc_harness(system, tso_mode=tso_mode)
+    bed = harness.bed
+    call = harness.call_factory(0)
+    out = {}
+
+    def body():
+        out["resp"] = yield from call(bytes(size), size)
+
+    done = bed.loop.process(body())
+    bed.loop.run(until=5.0)
+    assert done.triggered, f"{system}/{tso_mode} deadlocked"
+    if not done.ok:
+        raise done.value
+    assert len(out["resp"]) == size
+    return bed
+
+
+class TestModes:
+    @pytest.mark.parametrize("mode", list(TsoMode))
+    @pytest.mark.parametrize("system", ["homa", "smt-sw"])
+    def test_multi_packet_roundtrip(self, mode, system):
+        run_echo(system, 20_000, mode)
+
+    @pytest.mark.parametrize("mode", list(TsoMode))
+    def test_large_message(self, mode):
+        run_echo("smt-sw", 100_000, mode)
+
+    def test_off_mode_sends_single_packet_segments(self):
+        bed = run_echo("smt-sw", 10_000, TsoMode.OFF)
+        nic = bed.client.nic
+        # Every segment carried exactly one packet.
+        assert nic.segments_sent == nic.packets_sent
+
+    def test_pairs_mode_segments_bounded(self):
+        bed = run_echo("smt-sw", 10_000, TsoMode.PAIRS)
+        nic = bed.client.nic
+        assert nic.packets_sent <= 2 * nic.segments_sent
+
+    def test_full_mode_uses_few_segments(self):
+        bed = run_echo("smt-sw", 60_000, TsoMode.FULL)
+        nic = bed.client.nic
+        assert nic.segments_sent < nic.packets_sent / 10
+
+
+class TestCapacities:
+    def test_pairs_capacity(self):
+        assert segment_capacity(1440, packets_per_segment=2) == 2880
+
+    def test_off_capacity(self):
+        assert segment_capacity(1440, packets_per_segment=1) == 1440
+
+    def test_records_fit_small_segments(self):
+        # §7: with two-packet TSO, records shrink to fit the segments.
+        plan = plan_message(50_000, 1440, packets_per_segment=2)
+        cap = segment_capacity(1440, 2)
+        for seg in plan.segments[:-1]:
+            assert seg.wire_len == cap
+        assert all(
+            rec.wire_len <= cap for seg in plan.segments for rec in seg.records
+        )

@@ -1,0 +1,160 @@
+"""0-RTT SMT-ticket tests (paper §4.5.2-§4.5.3)."""
+
+import random
+
+import pytest
+
+from repro.core.zero_rtt import (
+    SmtTicket,
+    ZeroRttClient,
+    ZeroRttServer,
+    derive_fs_keys,
+    derive_smt_keys,
+)
+from repro.crypto.ca import CertificateAuthority
+from repro.crypto.cert import KEY_ALG_ECDSA
+from repro.crypto.ecdh import EcdhKeyPair
+from repro.crypto.ecdsa import EcdsaKeyPair
+from repro.dns.resolver import InternalDns
+from repro.errors import AuthenticationError, ProtocolError
+
+
+@pytest.fixture(scope="module")
+def pki():
+    rng = random.Random(1)
+    ca = CertificateAuthority("dc-root", rng)
+    key = EcdsaKeyPair.generate(rng)
+    leaf = ca.issue("server", KEY_ALG_ECDSA, key.public_bytes())
+    return ca, ca.chain_for(leaf), key
+
+
+def make_server(pki, lifetime=3600.0):
+    _, chain, key = pki
+    return ZeroRttServer("server", chain, key, random.Random(7), lifetime=lifetime)
+
+
+class TestTicket:
+    def test_rotate_produces_verifiable_ticket(self, pki):
+        ca, _, _ = pki
+        server = make_server(pki)
+        ticket = server.rotate(now=0.0)
+        leaf = ticket.verify([ca.certificate], now=10.0)
+        assert leaf.subject == "server"
+
+    def test_expired_ticket_rejected(self, pki):
+        ca, _, _ = pki
+        server = make_server(pki, lifetime=100.0)
+        ticket = server.rotate(now=0.0)
+        with pytest.raises(AuthenticationError):
+            ticket.verify([ca.certificate], now=200.0)
+
+    def test_tampered_share_rejected(self, pki):
+        ca, _, _ = pki
+        import dataclasses
+
+        server = make_server(pki)
+        ticket = server.rotate(now=0.0)
+        rng = random.Random(99)
+        evil_share = EcdhKeyPair.generate(rng).public_bytes()
+        forged = dataclasses.replace(ticket, long_term_share=evil_share)
+        with pytest.raises(AuthenticationError):
+            forged.verify([ca.certificate], now=1.0)
+
+    def test_untrusted_signer_rejected(self, pki):
+        server = make_server(pki)
+        ticket = server.rotate(now=0.0)
+        rogue = CertificateAuthority("rogue", random.Random(50))
+        with pytest.raises(AuthenticationError):
+            ticket.verify([rogue.certificate], now=1.0)
+
+    def test_dns_distribution(self, pki):
+        ca, _, _ = pki
+        server = make_server(pki)
+        dns = InternalDns()
+        dns.publish("server.dc.internal", server.rotate(now=0.0), now=0.0, ttl=3600.0)
+        ticket = dns.query("server.dc.internal", now=100.0)
+        ticket.verify([ca.certificate], now=100.0)
+
+    def test_dns_expiry(self, pki):
+        server = make_server(pki)
+        dns = InternalDns()
+        dns.publish("server.dc.internal", server.rotate(now=0.0), now=0.0, ttl=3600.0)
+        with pytest.raises(ProtocolError):
+            dns.query("server.dc.internal", now=4000.0)
+
+
+class TestZeroRttExchange:
+    def test_keys_agree(self, pki):
+        ca, _, _ = pki
+        server = make_server(pki)
+        ticket = server.rotate(now=0.0)
+        client = ZeroRttClient(ticket, [ca.certificate], now=0.0, rng=random.Random(2))
+        share, chlo_random, cw, sw, _ = client.start()
+        scw, ssw, _ = server.accept_zero_rtt(share, chlo_random, now=1.0)
+        assert cw == scw and sw == ssw
+
+    def test_pregenerated_key_skips_keygen(self, pki):
+        ca, _, _ = pki
+        server = make_server(pki)
+        ticket = server.rotate(now=0.0)
+        rng = random.Random(2)
+        client = ZeroRttClient(ticket, [ca.certificate], now=0.0, rng=rng)
+        _, _, _, _, trace = client.start(pregenerated=EcdhKeyPair.generate(rng))
+        assert "C1.1" not in [op.op_id for op in trace]
+
+    def test_chlo_replay_rejected(self, pki):
+        # §4.5.3: "servers can record the CHLO random value".
+        ca, _, _ = pki
+        server = make_server(pki)
+        ticket = server.rotate(now=0.0)
+        client = ZeroRttClient(ticket, [ca.certificate], now=0.0, rng=random.Random(2))
+        share, chlo_random, *_ = client.start()
+        server.accept_zero_rtt(share, chlo_random, now=1.0)
+        with pytest.raises(AuthenticationError):
+            server.accept_zero_rtt(share, chlo_random, now=2.0)
+        assert server.replayed_chlos == 1
+
+    def test_expired_long_term_key_rejected(self, pki):
+        server = make_server(pki, lifetime=100.0)
+        server.rotate(now=0.0)
+        with pytest.raises(ProtocolError):
+            server.accept_zero_rtt(b"x" * 65, b"r" * 32, now=500.0)
+
+    def test_rotation_invalidates_old_derivations(self, pki):
+        ca, _, _ = pki
+        server = make_server(pki)
+        old_ticket = server.rotate(now=0.0)
+        client = ZeroRttClient(old_ticket, [ca.certificate], now=0.0, rng=random.Random(2))
+        share, chlo_random, cw, sw, _ = client.start()
+        server.rotate(now=1800.0)  # hourly rotation
+        scw, _ssw, _ = server.accept_zero_rtt(share, chlo_random, now=1900.0)
+        # New long-term share -> different keys: 0-RTT data under the old
+        # ticket will not authenticate.
+        assert scw != cw
+
+    def test_transcript_binds_keys(self):
+        rng = random.Random(3)
+        a, b = EcdhKeyPair.generate(rng), EcdhKeyPair.generate(rng)
+        shared = a.shared_secret(b.public)
+        k1 = derive_smt_keys(shared, a.public_bytes(), b.public_bytes())
+        k2 = derive_smt_keys(shared, b.public_bytes(), a.public_bytes())
+        assert k1 != k2
+
+    def test_fs_keys_differ_from_smt_keys(self):
+        rng = random.Random(3)
+        a, b = EcdhKeyPair.generate(rng), EcdhKeyPair.generate(rng)
+        shared = a.shared_secret(b.public)
+        smt = derive_smt_keys(shared, a.public_bytes(), b.public_bytes())
+        fs = derive_fs_keys(shared, a.public_bytes(), b.public_bytes())
+        assert smt != fs
+
+    def test_zero_rtt_trace_is_cheap(self, pki):
+        # The 0-RTT client trace must not contain certificate verification
+        # (done offline) -- that is where §4.5.2's latency win comes from.
+        ca, _, _ = pki
+        server = make_server(pki)
+        ticket = server.rotate(now=0.0)
+        client = ZeroRttClient(ticket, [ca.certificate], now=0.0, rng=random.Random(2))
+        _, _, _, _, trace = client.start()
+        ops = [op.op_id for op in trace]
+        assert "C3.2" not in ops and "C4.2" not in ops

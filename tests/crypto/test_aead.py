@@ -1,0 +1,76 @@
+"""AEAD interface and the FastAead simulation cipher."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aead import FastAead, new_aead
+from repro.crypto.gcm import AesGcm
+from repro.errors import AuthenticationError, CryptoError
+
+NONCE = bytes(12)
+
+
+class TestFactory:
+    def test_aes_128(self):
+        assert isinstance(new_aead("aes-128-gcm", bytes(16)), AesGcm)
+
+    def test_aes_256(self):
+        assert isinstance(new_aead("aes-256-gcm", bytes(32)), AesGcm)
+
+    def test_fast(self):
+        assert isinstance(new_aead("fast", bytes(16)), FastAead)
+
+    def test_unknown_kind(self):
+        with pytest.raises(CryptoError):
+            new_aead("rot13", bytes(16))
+
+    def test_wrong_key_size(self):
+        with pytest.raises(CryptoError):
+            new_aead("aes-128-gcm", bytes(32))
+
+
+class TestFastAead:
+    def test_roundtrip(self):
+        f = FastAead(bytes(16))
+        out = f.seal(NONCE, b"payload", b"aad")
+        assert f.open(NONCE, out, b"aad") == b"payload"
+
+    def test_overhead_is_tag_size(self):
+        f = FastAead(bytes(16))
+        assert len(f.seal(NONCE, b"x" * 100)) == 100 + f.tag_size
+
+    def test_ciphertext_differs_from_plaintext(self):
+        f = FastAead(bytes(16))
+        assert f.seal(NONCE, b"secret" * 10)[:60] != b"secret" * 10
+
+    def test_tamper_detected(self):
+        f = FastAead(bytes(16))
+        out = bytearray(f.seal(NONCE, b"payload"))
+        out[0] ^= 1
+        with pytest.raises(AuthenticationError):
+            f.open(NONCE, bytes(out))
+
+    def test_wrong_aad_detected(self):
+        f = FastAead(bytes(16))
+        out = f.seal(NONCE, b"payload", b"a")
+        with pytest.raises(AuthenticationError):
+            f.open(NONCE, out, b"b")
+
+    def test_nonce_binds_ciphertext(self):
+        f = FastAead(bytes(16))
+        out = f.seal(NONCE, b"payload")
+        with pytest.raises(AuthenticationError):
+            f.open(b"\x01" + NONCE[1:], out)
+
+    def test_same_interface_as_gcm(self):
+        for cls in (FastAead, AesGcm):
+            obj = cls(bytes(16))
+            assert obj.nonce_size == 12
+            assert obj.tag_size == 16
+
+    @given(st.binary(min_size=0, max_size=200), st.binary(min_size=0, max_size=32))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, plaintext, aad):
+        f = FastAead(b"\x05" * 16)
+        assert f.open(NONCE, f.seal(NONCE, plaintext, aad), aad) == plaintext

@@ -1,0 +1,100 @@
+"""secp256r1 group tests: known vectors and group laws."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.ec import ECPoint, INFINITY, N, P256
+from repro.errors import CryptoError
+
+# Known scalar multiples of the P-256 generator (public test vectors).
+K2_X = 0x7CF27B188D034F7E8A52380304B51AC3C08969E277F21B35A60B48FC47669978
+K2_Y = 0x07775510DB8ED040293D9AC69F7430DBBA7DADE63CE982299E04B79D227873D1
+K3_X = 0x5ECBE4D1A6330A44C8F7EF951D4BF165E6C6B721EFADA985FB41661BC6E7FD6C
+K112233445566778899_X = 0x339150844EC15234807FE862A86BE77977DBFB3AE3D96F4C22795513AEAAB82F
+
+
+class TestKnownVectors:
+    def test_generator_on_curve(self):
+        assert P256.is_on_curve(P256.generator)
+
+    def test_2g(self):
+        p = P256.scalar_mult(2)
+        assert p.x == K2_X and p.y == K2_Y
+
+    def test_3g(self):
+        assert P256.scalar_mult(3).x == K3_X
+
+    def test_large_scalar(self):
+        assert P256.scalar_mult(112233445566778899).x == K112233445566778899_X
+
+    def test_order_times_g_is_infinity(self):
+        assert P256.scalar_mult(N).is_infinity
+
+    def test_n_minus_1_is_negation_of_g(self):
+        p = P256.scalar_mult(N - 1)
+        assert p == P256.negate(P256.generator)
+
+
+class TestGroupLaws:
+    def test_addition_commutes(self):
+        a, b = P256.scalar_mult(5), P256.scalar_mult(7)
+        assert P256.add(a, b) == P256.add(b, a)
+
+    def test_addition_associates(self):
+        a, b, c = (P256.scalar_mult(k) for k in (3, 11, 29))
+        assert P256.add(P256.add(a, b), c) == P256.add(a, P256.add(b, c))
+
+    def test_identity_element(self):
+        g = P256.generator
+        assert P256.add(g, INFINITY) == g
+        assert P256.add(INFINITY, g) == g
+
+    def test_inverse_element(self):
+        g = P256.generator
+        assert P256.add(g, P256.negate(g)).is_infinity
+
+    def test_doubling_matches_addition(self):
+        g = P256.generator
+        assert P256.add(g, g) == P256.scalar_mult(2)
+
+    @given(st.integers(min_value=1, max_value=N - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_scalar_distributes(self, k):
+        # (k+1)G == kG + G
+        assert P256.add(P256.scalar_mult(k), P256.generator) == P256.scalar_mult(k + 1)
+
+    def test_scalar_mult_mod_n(self):
+        k = random.Random(1).randrange(1, N)
+        assert P256.scalar_mult(k) == P256.scalar_mult(k + N)
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        p = P256.scalar_mult(12345)
+        assert ECPoint.decode(p.encode()) == p
+
+    def test_encoding_is_65_bytes_uncompressed(self):
+        data = P256.generator.encode()
+        assert len(data) == 65 and data[0] == 0x04
+
+    def test_off_curve_point_rejected(self):
+        data = bytearray(P256.generator.encode())
+        data[-1] ^= 1
+        with pytest.raises(CryptoError):
+            ECPoint.decode(bytes(data))
+
+    def test_bad_prefix_rejected(self):
+        data = b"\x02" + P256.generator.encode()[1:]
+        with pytest.raises(CryptoError):
+            ECPoint.decode(data)
+
+    def test_infinity_cannot_encode(self):
+        with pytest.raises(CryptoError):
+            INFINITY.encode()
+
+    def test_scalar_mult_rejects_off_curve(self):
+        with pytest.raises(CryptoError):
+            P256.scalar_mult(2, ECPoint(1, 1))

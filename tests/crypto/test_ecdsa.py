@@ -1,0 +1,121 @@
+"""ECDSA tests: RFC 6979 deterministic vectors, sign/verify, tampering."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.ecdh import EcdhKeyPair
+from repro.crypto.ecdsa import EcdsaKeyPair, ecdsa_sign, ecdsa_verify
+from repro.crypto.ec import N, P256
+from repro.errors import AuthenticationError, CryptoError
+
+# RFC 6979 appendix A.2.5, curve P-256 with SHA-256.
+RFC6979_KEY = 0xC9AFA9D845BA75166B5C215767B1D6934E50C3DB36E89B127B8A622B120F6721
+RFC6979_SAMPLE_R = 0xEFD48B2AACB6A8FD1140DD9CD45E81D69D2C877B56AAF991C34D0EA84EAF3716
+RFC6979_SAMPLE_S = 0xF7CB1C942D657C41D436C7A1B6E29F65F3E900DBB9AFF4064DC4AB2F843ACDA8
+RFC6979_TEST_R = 0xF1ABB023518351CD71D881567B1EA663ED3EFCF6C5132B354F28D3B0B7D38367
+RFC6979_TEST_S = 0x019F4113742A2B14BD25926B49C649155F267E60D3814B4C0CC84250E46F0083
+
+
+class TestRfc6979Vectors:
+    def test_sample_message(self):
+        sig = ecdsa_sign(RFC6979_KEY, b"sample")
+        assert int.from_bytes(sig[:32], "big") == RFC6979_SAMPLE_R
+        assert int.from_bytes(sig[32:], "big") == RFC6979_SAMPLE_S
+
+    def test_test_message(self):
+        sig = ecdsa_sign(RFC6979_KEY, b"test")
+        assert int.from_bytes(sig[:32], "big") == RFC6979_TEST_R
+        assert int.from_bytes(sig[32:], "big") == RFC6979_TEST_S
+
+    def test_vectors_verify(self):
+        public = P256.scalar_mult(RFC6979_KEY)
+        ecdsa_verify(public, b"sample", ecdsa_sign(RFC6979_KEY, b"sample"))
+
+
+class TestSignVerify:
+    def test_roundtrip(self):
+        kp = EcdsaKeyPair.generate(random.Random(0))
+        sig = kp.sign(b"hello world")
+        kp.verify(b"hello world", sig)
+
+    def test_deterministic_signatures(self):
+        kp = EcdsaKeyPair.generate(random.Random(0))
+        assert kp.sign(b"msg") == kp.sign(b"msg")
+
+    def test_message_tamper_detected(self):
+        kp = EcdsaKeyPair.generate(random.Random(0))
+        sig = kp.sign(b"original")
+        with pytest.raises(AuthenticationError):
+            kp.verify(b"OriginaL", sig)
+
+    def test_signature_tamper_detected(self):
+        kp = EcdsaKeyPair.generate(random.Random(0))
+        sig = bytearray(kp.sign(b"m"))
+        sig[10] ^= 1
+        with pytest.raises(AuthenticationError):
+            kp.verify(b"m", bytes(sig))
+
+    def test_wrong_key_detected(self):
+        signer = EcdsaKeyPair.generate(random.Random(0))
+        other = EcdsaKeyPair.generate(random.Random(1))
+        with pytest.raises(AuthenticationError):
+            other.verify(b"m", signer.sign(b"m"))
+
+    def test_bad_signature_length_rejected(self):
+        kp = EcdsaKeyPair.generate(random.Random(0))
+        with pytest.raises(AuthenticationError):
+            kp.verify(b"m", b"short")
+
+    def test_out_of_range_values_rejected(self):
+        kp = EcdsaKeyPair.generate(random.Random(0))
+        bad = N.to_bytes(32, "big") + (1).to_bytes(32, "big")
+        with pytest.raises(AuthenticationError):
+            kp.verify(b"m", bad)
+
+    def test_zero_r_rejected(self):
+        kp = EcdsaKeyPair.generate(random.Random(0))
+        bad = bytes(32) + (1).to_bytes(32, "big")
+        with pytest.raises(AuthenticationError):
+            kp.verify(b"m", bad)
+
+    @given(st.binary(min_size=0, max_size=200))
+    @settings(max_examples=10, deadline=None)
+    def test_roundtrip_property(self, message):
+        kp = EcdsaKeyPair.generate(random.Random(7))
+        kp.verify(message, kp.sign(message))
+
+
+class TestEcdh:
+    def test_shared_secret_agreement(self):
+        rng = random.Random(3)
+        a = EcdhKeyPair.generate(rng)
+        b = EcdhKeyPair.generate(rng)
+        assert a.shared_secret(b.public) == b.shared_secret(a.public)
+
+    def test_secret_is_32_bytes(self):
+        rng = random.Random(3)
+        a, b = EcdhKeyPair.generate(rng), EcdhKeyPair.generate(rng)
+        assert len(a.shared_secret(b.public)) == 32
+
+    def test_different_pairs_different_secrets(self):
+        rng = random.Random(3)
+        a, b, c = (EcdhKeyPair.generate(rng) for _ in range(3))
+        assert a.shared_secret(b.public) != a.shared_secret(c.public)
+
+    def test_invalid_peer_share_rejected(self):
+        from repro.crypto.ec import ECPoint, INFINITY
+
+        a = EcdhKeyPair.generate(random.Random(3))
+        with pytest.raises(CryptoError):
+            a.shared_secret(INFINITY)
+        with pytest.raises(CryptoError):
+            a.shared_secret(ECPoint(5, 7))  # off-curve (invalid-curve attack)
+
+    def test_deterministic_from_seed(self):
+        assert (
+            EcdhKeyPair.generate(random.Random(9)).private
+            == EcdhKeyPair.generate(random.Random(9)).private
+        )

@@ -1,0 +1,104 @@
+"""HKDF tests against RFC 5869 test vectors (SHA-256 cases)."""
+
+import pytest
+
+from repro.crypto.kdf import (
+    derive_secret,
+    hkdf_expand,
+    hkdf_expand_label,
+    hkdf_extract,
+    hmac_sha256,
+    transcript_hash,
+)
+from repro.errors import CryptoError
+
+
+class TestRfc5869Vectors:
+    def test_case_1(self):
+        ikm = bytes.fromhex("0b" * 22)
+        salt = bytes.fromhex("000102030405060708090a0b0c")
+        info = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9")
+        prk = hkdf_extract(salt, ikm)
+        assert prk.hex() == (
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        )
+        okm = hkdf_expand(prk, info, 42)
+        assert okm.hex() == (
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865"
+        )
+
+    def test_case_2_long_inputs(self):
+        ikm = bytes(range(0x00, 0x50))
+        salt = bytes(range(0x60, 0xB0))
+        info = bytes(range(0xB0, 0x100))
+        prk = hkdf_extract(salt, ikm)
+        okm = hkdf_expand(prk, info, 82)
+        assert okm.hex() == (
+            "b11e398dc80327a1c8e7f78c596a49344f012eda2d4efad8a050cc4c19afa97c"
+            "59045a99cac7827271cb41c65e590e09da3275600c2f09b8367793a9aca3db71"
+            "cc30c58179ec3e87c14c01d5c1f3434f1d87"
+        )
+
+    def test_case_3_empty_salt_and_info(self):
+        ikm = bytes.fromhex("0b" * 22)
+        prk = hkdf_extract(b"", ikm)
+        assert prk.hex() == (
+            "19ef24a32c717b167f33a91d6f648bdf96596776afdb6377ac434c1c293ccb04"
+        )
+        okm = hkdf_expand(prk, b"", 42)
+        assert okm.hex() == (
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8"
+        )
+
+
+class TestExpandLimits:
+    def test_maximum_length_enforced(self):
+        with pytest.raises(CryptoError):
+            hkdf_expand(bytes(32), b"", 255 * 32 + 1)
+
+    def test_exact_multiple_of_hash(self):
+        out = hkdf_expand(bytes(32), b"info", 64)
+        assert len(out) == 64
+
+
+class TestExpandLabel:
+    def test_length_is_respected(self):
+        out = hkdf_expand_label(bytes(32), "key", b"", 16)
+        assert len(out) == 16
+
+    def test_labels_separate_domains(self):
+        secret = bytes(32)
+        assert hkdf_expand_label(secret, "key", b"", 16) != hkdf_expand_label(
+            secret, "iv", b"", 16
+        )
+
+    def test_context_changes_output(self):
+        secret = bytes(32)
+        a = hkdf_expand_label(secret, "key", b"ctx1", 16)
+        b = hkdf_expand_label(secret, "key", b"ctx2", 16)
+        assert a != b
+
+    def test_overlong_label_rejected(self):
+        with pytest.raises(CryptoError):
+            hkdf_expand_label(bytes(32), "x" * 300, b"", 16)
+
+    def test_rfc8446_style_derivation_deterministic(self):
+        th = transcript_hash(b"hello")
+        assert derive_secret(bytes(32), "c hs traffic", th) == derive_secret(
+            bytes(32), "c hs traffic", th
+        )
+
+
+class TestHelpers:
+    def test_hmac_matches_stdlib(self):
+        import hashlib
+        import hmac
+
+        key, msg = b"key", b"message"
+        assert hmac_sha256(key, msg) == hmac.new(key, msg, hashlib.sha256).digest()
+
+    def test_transcript_hash_concatenates(self):
+        assert transcript_hash(b"ab", b"c") == transcript_hash(b"a", b"bc")
+        assert transcript_hash(b"ab") != transcript_hash(b"ba")

@@ -1,0 +1,89 @@
+"""RSA signature tests."""
+
+import random
+
+import pytest
+
+from repro.crypto.rsa import RsaKeyPair, _is_probable_prime
+from repro.errors import AuthenticationError, CryptoError
+
+
+@pytest.fixture(scope="module")
+def key():
+    # 1024 bits keeps the suite fast; sign/verify paths are size-agnostic.
+    return RsaKeyPair.generate(1024, random.Random(42))
+
+
+class TestKeyGeneration:
+    def test_modulus_size(self, key):
+        assert key.n.bit_length() == 1024
+        assert key.size_bytes == 128
+
+    def test_public_exponent(self, key):
+        assert key.e == 65537
+
+    def test_deterministic_from_seed(self):
+        a = RsaKeyPair.generate(512, random.Random(5))
+        b = RsaKeyPair.generate(512, random.Random(5))
+        assert a.n == b.n
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(CryptoError):
+            RsaKeyPair.generate(100, random.Random(0))
+        with pytest.raises(CryptoError):
+            RsaKeyPair.generate(1025, random.Random(0))
+
+    def test_private_public_inverse(self, key):
+        m = 0x1234567890ABCDEF
+        assert pow(pow(m, key.e, key.n), key.d, key.n) == m
+
+
+class TestMillerRabin:
+    def test_small_primes(self):
+        rng = random.Random(0)
+        for p in (2, 3, 5, 7, 97, 7919):
+            assert _is_probable_prime(p, rng)
+
+    def test_small_composites(self):
+        rng = random.Random(0)
+        for c in (1, 4, 9, 100, 561, 7917):  # 561 is a Carmichael number
+            assert not _is_probable_prime(c, rng)
+
+
+class TestSignVerify:
+    def test_roundtrip(self, key):
+        sig = key.sign(b"message")
+        key.verify(b"message", sig)
+
+    def test_signature_is_modulus_sized(self, key):
+        assert len(key.sign(b"m")) == key.size_bytes
+
+    def test_message_tamper_detected(self, key):
+        sig = key.sign(b"message")
+        with pytest.raises(AuthenticationError):
+            key.verify(b"Message", sig)
+
+    def test_signature_tamper_detected(self, key):
+        sig = bytearray(key.sign(b"m"))
+        sig[0] ^= 1
+        with pytest.raises(AuthenticationError):
+            key.verify(b"m", bytes(sig))
+
+    def test_wrong_length_rejected(self, key):
+        with pytest.raises(AuthenticationError):
+            key.verify(b"m", b"short")
+
+    def test_signature_out_of_range_rejected(self, key):
+        sig = (key.n + 1).to_bytes(key.size_bytes, "big")
+        with pytest.raises(AuthenticationError):
+            key.verify(b"m", sig)
+
+    def test_wrong_key_detected(self, key):
+        other = RsaKeyPair.generate(1024, random.Random(99))
+        with pytest.raises(AuthenticationError):
+            other.verify(b"m", key.sign(b"m"))
+
+    def test_public_bytes_roundtrip_via_cert_helper(self, key):
+        from repro.crypto.cert import KEY_ALG_RSA, verify_with_key
+
+        verify_with_key(KEY_ALG_RSA, key.public_bytes(), b"m", key.sign(b"m"))

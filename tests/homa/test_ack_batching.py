@@ -1,0 +1,112 @@
+"""Lazy batched ACK tests: implicit acks, batch flush, timer fallback."""
+
+import pytest
+
+from repro.homa import HomaSocket, HomaTransport
+from repro.net.headers import PacketType
+from repro.testbed import Testbed
+
+
+def build():
+    bed = Testbed.back_to_back()
+    ct = HomaTransport(bed.client)
+    st = HomaTransport(bed.server)
+    csock = HomaSocket(ct, bed.client.alloc_port())
+    ssock = HomaSocket(st, 6000)
+
+    def echo():
+        thread = bed.server.app_thread(0)
+        while True:
+            rpc = yield from ssock.recv_request(thread)
+            yield from ssock.reply(thread, rpc, rpc.payload)
+
+    bed.loop.process(echo())
+    return bed, ct, st, csock, ssock
+
+
+def run_calls(bed, csock, n):
+    def client():
+        thread = bed.client.app_thread(0)
+        for i in range(n):
+            response = yield from csock.call(
+                thread, bed.server.addr, 6000, bytes([i & 0xFF]) * 32
+            )
+            assert response == bytes([i & 0xFF]) * 32
+
+    done = bed.loop.process(client())
+    bed.loop.run(until=5.0)
+    assert done.triggered and done.ok
+
+
+class TestImplicitAcks:
+    def test_response_frees_request_state(self):
+        bed, ct, st, csock, ssock = build()
+        run_calls(bed, csock, 1)
+        # Client's outbound request was freed by the response itself,
+        # without waiting for any ACK packet.
+        assert not any(
+            msg_id % 2 == 0 for _addr, msg_id in ct._outbound
+        ), "request state survived its response"
+
+    def test_requests_generate_no_ack_packets(self):
+        bed, ct, st, csock, ssock = build()
+        acks = []
+        original = bed.link._b_to_a.receiver
+
+        def watch(packet):
+            if packet.transport.pkt_type == PacketType.ACK:
+                acks.append(packet)
+            original(packet)
+
+        bed.link._b_to_a.receiver = watch
+        run_calls(bed, csock, 3)
+        # Server sends no per-request ACKs (responses imply them).
+        assert acks == []
+
+
+class TestBatchedAcks:
+    def test_response_acks_batch(self):
+        bed, ct, st, csock, ssock = build()
+        acks = []
+        original = bed.link._a_to_b.receiver
+
+        def watch(packet):
+            if packet.transport.pkt_type == PacketType.ACK:
+                acks.append(packet)
+            original(packet)
+
+        bed.link._a_to_b.receiver = watch
+        run_calls(bed, csock, 16)  # two full batches of 8
+        bed.loop.run(until=bed.loop.now + 1e-3)  # let the flush timer fire
+        assert len(acks) <= 3  # 2 full batches (+ possible timer flush)
+        acked_ids = sum(packet.transport.msg_len for packet in acks)
+        assert acked_ids == 16
+
+    def test_timer_flushes_partial_batch(self):
+        bed, ct, st, csock, ssock = build()
+        run_calls(bed, csock, 3)  # below the batch size
+        bed.loop.run(until=bed.loop.now + 1e-3)
+        # The server's response state was freed by the timer-flushed ACK.
+        assert not st._outbound, "server response state not freed"
+
+    def test_server_state_freed_after_full_batch(self):
+        bed, ct, st, csock, ssock = build()
+        run_calls(bed, csock, 8)
+        bed.loop.run(until=bed.loop.now + 1e-3)
+        assert not st._outbound
+
+    def test_batch_size_configurable(self):
+        bed, ct, st, csock, ssock = build()
+        ct.ack_batch_size = 1  # per-message acks
+        acks = []
+        original = bed.link._a_to_b.receiver
+
+        def watch(packet):
+            if packet.transport.pkt_type == PacketType.ACK:
+                acks.append(packet)
+            original(packet)
+
+        bed.link._a_to_b.receiver = watch
+        run_calls(bed, csock, 4)
+        bed.loop.run(until=bed.loop.now + 1e-3)
+        assert len(acks) >= 3  # one per response (first may coalesce)

@@ -1,0 +1,112 @@
+"""Switch fabric tests: multi-host topologies."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.homa import HomaSocket, HomaTransport
+from repro.testbed import StarTestbed
+
+
+class TestStarTopology:
+    def test_construction(self):
+        bed = StarTestbed.star(3)
+        assert len(bed.clients) == 3
+        addrs = {h.addr for h in bed.clients} | {bed.server.addr}
+        assert len(addrs) == 4
+
+    def test_client_to_server_echo(self):
+        bed = StarTestbed.star(2)
+        st = HomaTransport(bed.server)
+        ssock = HomaSocket(st, 7000)
+
+        def echo():
+            thread = bed.server.app_thread(0)
+            while True:
+                rpc = yield from ssock.recv_request(thread)
+                yield from ssock.reply(thread, rpc, rpc.payload[::-1])
+
+        bed.loop.process(echo())
+        results = {}
+
+        def client(i):
+            host = bed.clients[i]
+            ct = HomaTransport(host)
+            sock = HomaSocket(ct, host.alloc_port())
+            thread = host.app_thread(0)
+            results[i] = yield from sock.call(thread, bed.server.addr, 7000,
+                                              b"client%d" % i)
+
+        procs = [bed.loop.process(client(i)) for i in range(2)]
+        bed.loop.run(until=1.0)
+        assert all(p.ok for p in procs)
+        assert results == {0: b"0tneilc", 1: b"1tneilc"}
+
+    def test_cross_client_isolation(self):
+        # Packets to the server do not appear at other clients' ports.
+        bed = StarTestbed.star(2)
+        stray = []
+        bed.clients[1].nic.set_rx_handler(lambda p: stray.append(p))
+        st = HomaTransport(bed.server)
+        ssock = HomaSocket(st, 7000)
+
+        def echo():
+            thread = bed.server.app_thread(0)
+            rpc = yield from ssock.recv_request(thread)
+            yield from ssock.reply(thread, rpc, b"ok")
+
+        bed.loop.process(echo())
+
+        def client():
+            host = bed.clients[0]
+            ct = HomaTransport(host)
+            sock = HomaSocket(ct, host.alloc_port())
+            yield from sock.call(host.app_thread(0), bed.server.addr, 7000, b"hi")
+
+        done = bed.loop.process(client())
+        bed.loop.run(until=1.0)
+        assert done.ok
+        assert stray == []
+
+    def test_mtu_enforced_on_fabric(self):
+        from repro.net.headers import IPv4Header, TransportHeader
+        from repro.net.packet import Packet
+
+        bed = StarTestbed.star(1, mtu=1500)
+        port = bed.fabric.port(bed.clients[0].addr)
+        big = Packet(
+            IPv4Header(bed.clients[0].addr, bed.server.addr, 146, 2000),
+            TransportHeader(1, 2, 3),
+            bytes(1940),
+        )
+        with pytest.raises(SimulationError):
+            port.send("a", big)
+
+    def test_port_reuse_same_object(self):
+        bed = StarTestbed.star(1)
+        addr = bed.clients[0].addr
+        assert bed.fabric.port(addr) is bed.fabric.port(addr)
+
+    def test_egress_stats(self):
+        bed = StarTestbed.star(1)
+        st = HomaTransport(bed.server)
+        ssock = HomaSocket(st, 7000)
+
+        def echo():
+            thread = bed.server.app_thread(0)
+            rpc = yield from ssock.recv_request(thread)
+            yield from ssock.reply(thread, rpc, b"ok")
+
+        bed.loop.process(echo())
+
+        def client():
+            host = bed.clients[0]
+            ct = HomaTransport(host)
+            sock = HomaSocket(ct, host.alloc_port())
+            yield from sock.call(host.app_thread(0), bed.server.addr, 7000, b"x" * 500)
+
+        done = bed.loop.process(client())
+        bed.loop.run(until=1.0)
+        assert done.ok
+        stats = bed.fabric.port(bed.clients[0].addr).stats("a")
+        assert stats["tx_packets"] >= 1
+        assert stats["tx_bytes"] > 500

@@ -1,0 +1,117 @@
+"""TSO/GSO tests: the hardware behaviours SMT's framing depends on."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolError
+from repro.net.headers import PROTO_SMT, PROTO_TCP, TransportHeader
+from repro.nic.tso import MAX_TSO_PAYLOAD, TsoSegment, gso_split, split_segment
+
+
+def make_segment(payload_len, proto=PROTO_SMT, mss=1440, tso_offset=0, msg_id=42):
+    header = TransportHeader(
+        1000, 2000, msg_id, msg_len=payload_len, tso_offset=tso_offset
+    )
+    return TsoSegment(1, 2, proto, header, bytes(range(256)) * (payload_len // 256 + 1)
+                      if payload_len else b"", mss)
+
+
+def make_exact_segment(payload, proto=PROTO_SMT, mss=1440):
+    header = TransportHeader(1000, 2000, 42, msg_len=len(payload))
+    return TsoSegment(1, 2, proto, header, payload, mss)
+
+
+class TestSplit:
+    def test_packet_count(self):
+        seg = make_exact_segment(bytes(4000), mss=1440)
+        assert len(split_segment(seg, 0)) == 3
+
+    def test_payload_reassembles(self):
+        payload = bytes(range(256)) * 20
+        seg = make_exact_segment(payload, mss=1440)
+        packets = split_segment(seg, 100)
+        assert b"".join(p.payload for p in packets) == payload
+
+    def test_header_replicated_for_non_tcp(self):
+        # TSO copies the transport header to every packet (paper §2.2):
+        # msg_id and tso_offset identical across all packets of a segment.
+        payload = bytes(5000)
+        header = TransportHeader(1, 2, 99, msg_len=5000, tso_offset=64000)
+        seg = TsoSegment(1, 2, PROTO_SMT, header, payload, 1440)
+        packets = split_segment(seg, 0)
+        assert {p.transport.msg_id for p in packets} == {99}
+        assert {p.transport.tso_offset for p in packets} == {64000}
+
+    def test_ipid_increments_per_packet(self):
+        seg = make_exact_segment(bytes(5000))
+        packets = split_segment(seg, 500)
+        assert [p.ip.ipid for p in packets] == [500, 501, 502, 503]
+
+    def test_ipid_wraps_16_bits(self):
+        seg = make_exact_segment(bytes(3000))
+        packets = split_segment(seg, 0xFFFF)
+        assert [p.ip.ipid for p in packets] == [0xFFFF, 0, 1]
+
+    def test_tcp_gets_sequence_numbers(self):
+        # Real TSO advances TCP sequence numbers per packet...
+        header = TransportHeader(1, 2, 1000, msg_len=3000)
+        seg = TsoSegment(1, 2, PROTO_TCP, header, bytes(3000), 1440)
+        packets = split_segment(seg, 0)
+        assert [p.transport.msg_id for p in packets] == [1000, 2440, 3880]
+
+    def test_non_tcp_gets_no_sequence_numbers(self):
+        # ...but does NOT write them for unknown protocols (paper §2.2),
+        # which is exactly why SMT needs the IPID trick.
+        header = TransportHeader(1, 2, 1000, msg_len=3000)
+        seg = TsoSegment(1, 2, PROTO_SMT, header, bytes(3000), 1440)
+        packets = split_segment(seg, 0)
+        assert [p.transport.msg_id for p in packets] == [1000, 1000, 1000]
+
+    def test_segment_end_marker(self):
+        packets = split_segment(make_exact_segment(bytes(3000)), 0)
+        assert [p.meta["segment_end"] for p in packets] == [False, False, True]
+
+    def test_oversized_segment_rejected(self):
+        with pytest.raises(ProtocolError):
+            make_exact_segment(bytes(MAX_TSO_PAYLOAD + 1))
+
+    def test_single_small_packet(self):
+        packets = split_segment(make_exact_segment(b"tiny"), 7)
+        assert len(packets) == 1
+        assert packets[0].payload == b"tiny"
+        assert packets[0].ip.ipid == 7
+
+    @given(st.integers(min_value=1, max_value=20000), st.sampled_from([536, 1440, 8940]))
+    @settings(max_examples=30, deadline=None)
+    def test_split_reassembles_property(self, size, mss):
+        payload = (b"\xaa\x55" * ((size + 1) // 2))[:size]
+        seg = make_exact_segment(payload, mss=mss)
+        packets = split_segment(seg, 12345)
+        assert b"".join(p.payload for p in packets) == payload
+        assert all(len(p.payload) == mss for p in packets[:-1])
+
+
+class TestGso:
+    def test_two_packet_split(self):
+        # Paper §7: "We can use TSO for every pair of packets"; GSO cuts
+        # larger sends into two-packet TSO segments with advancing offsets.
+        seg = make_exact_segment(bytes(1440 * 6), mss=1440)
+        subs = gso_split(seg, 2)
+        assert len(subs) == 3
+        assert [s.header.tso_offset for s in subs] == [0, 2880, 5760]
+        assert all(s.num_packets == 2 for s in subs)
+
+    def test_small_segment_unsplit(self):
+        seg = make_exact_segment(bytes(1000))
+        assert gso_split(seg, 2) == [seg]
+
+    def test_payload_preserved(self):
+        payload = bytes(range(256)) * 30
+        seg = make_exact_segment(payload, mss=1440)
+        subs = gso_split(seg, 2)
+        assert b"".join(s.payload for s in subs) == payload
+
+    def test_bad_split_size(self):
+        with pytest.raises(ProtocolError):
+            gso_split(make_exact_segment(bytes(100)), 0)

@@ -1,0 +1,259 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.event_loop import EventLoop, Interrupt
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert EventLoop().now == 0.0
+
+    def test_call_later_advances_clock(self):
+        loop = EventLoop()
+        seen = []
+        loop.call_later(1.5, lambda: seen.append(loop.now))
+        loop.run()
+        assert seen == [1.5]
+        assert loop.now == 1.5
+
+    def test_events_fire_in_time_order(self):
+        loop = EventLoop()
+        order = []
+        loop.call_later(2.0, lambda: order.append("b"))
+        loop.call_later(1.0, lambda: order.append("a"))
+        loop.call_later(3.0, lambda: order.append("c"))
+        loop.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        loop = EventLoop()
+        order = []
+        for tag in "abc":
+            loop.call_later(1.0, lambda t=tag: order.append(t))
+        loop.run()
+        assert order == ["a", "b", "c"]
+
+    def test_cannot_schedule_in_past(self):
+        loop = EventLoop()
+        loop.call_later(1.0, lambda: None)
+        loop.run()
+        with pytest.raises(SimulationError):
+            loop.call_at(0.5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            EventLoop().call_later(-1.0, lambda: None)
+
+    def test_run_until_stops_early(self):
+        loop = EventLoop()
+        seen = []
+        loop.call_later(1.0, lambda: seen.append(1))
+        loop.call_later(5.0, lambda: seen.append(5))
+        loop.run(until=2.0)
+        assert seen == [1]
+        assert loop.now == 2.0
+        loop.run()
+        assert seen == [1, 5]
+
+    def test_run_returns_final_time(self):
+        loop = EventLoop()
+        loop.call_later(4.0, lambda: None)
+        assert loop.run() == 4.0
+
+    def test_max_events_guard(self):
+        loop = EventLoop()
+
+        def rearm():
+            loop.call_soon(rearm)
+
+        loop.call_soon(rearm)
+        with pytest.raises(SimulationError):
+            loop.run(max_events=100)
+
+
+class TestEvents:
+    def test_succeed_delivers_value(self):
+        loop = EventLoop()
+        ev = loop.event()
+        got = []
+        ev.add_callback(lambda e: got.append(e.value))
+        ev.succeed(42)
+        loop.run()
+        assert got == [42]
+
+    def test_callback_after_trigger_still_runs(self):
+        loop = EventLoop()
+        ev = loop.event().succeed("x")
+        got = []
+        ev.add_callback(lambda e: got.append(e.value))
+        loop.run()
+        assert got == ["x"]
+
+    def test_double_trigger_rejected(self):
+        loop = EventLoop()
+        ev = loop.event().succeed(1)
+        with pytest.raises(SimulationError):
+            ev.succeed(2)
+
+    def test_ok_requires_trigger(self):
+        loop = EventLoop()
+        with pytest.raises(SimulationError):
+            _ = loop.event().ok
+
+    def test_fail_requires_exception(self):
+        loop = EventLoop()
+        with pytest.raises(SimulationError):
+            loop.event().fail("not an exception")
+
+    def test_timeout_value(self):
+        loop = EventLoop()
+        ev = loop.timeout(2.0, value="done")
+        loop.run()
+        assert ev.triggered and ev.ok and ev.value == "done"
+
+    def test_all_of_collects_values(self):
+        loop = EventLoop()
+        events = [loop.timeout(i, value=i) for i in (3.0, 1.0, 2.0)]
+        combined = loop.all_of(events)
+        loop.run()
+        assert combined.value == [3.0, 1.0, 2.0]
+
+    def test_all_of_empty(self):
+        loop = EventLoop()
+        combined = loop.all_of([])
+        loop.run()
+        assert combined.triggered and combined.value == []
+
+    def test_all_of_fails_fast(self):
+        loop = EventLoop()
+        good = loop.timeout(5.0)
+        bad = loop.event()
+        combined = loop.all_of([good, bad])
+        loop.call_later(1.0, lambda: bad.fail(ValueError("boom")))
+        loop.run()
+        assert combined.triggered and not combined.ok
+        assert isinstance(combined.value, ValueError)
+
+
+class TestProcesses:
+    def test_process_returns_value(self):
+        loop = EventLoop()
+
+        def body():
+            yield loop.timeout(1.0)
+            return "result"
+
+        assert loop.run_process(body()) == "result"
+        assert loop.now == 1.0
+
+    def test_process_receives_event_value(self):
+        loop = EventLoop()
+
+        def body():
+            value = yield loop.timeout(1.0, value=99)
+            return value
+
+        assert loop.run_process(body()) == 99
+
+    def test_process_exception_propagates(self):
+        loop = EventLoop()
+
+        def body():
+            yield loop.timeout(1.0)
+            raise RuntimeError("inner")
+
+        with pytest.raises(RuntimeError, match="inner"):
+            loop.run_process(body())
+
+    def test_failed_event_raises_in_process(self):
+        loop = EventLoop()
+        ev = loop.event()
+        loop.call_later(1.0, lambda: ev.fail(KeyError("k")))
+
+        def body():
+            with pytest.raises(KeyError):
+                yield ev
+            return "handled"
+
+        assert loop.run_process(body()) == "handled"
+
+    def test_processes_compose(self):
+        loop = EventLoop()
+
+        def inner():
+            yield loop.timeout(2.0)
+            return 7
+
+        def outer():
+            value = yield loop.process(inner())
+            return value * 2
+
+        assert loop.run_process(outer()) == 14
+
+    def test_yield_non_event_rejected(self):
+        loop = EventLoop()
+
+        def body():
+            yield 42
+
+        loop.process(body())
+        with pytest.raises(SimulationError):
+            loop.run()
+
+    def test_interrupt_raises_in_process(self):
+        loop = EventLoop()
+        caught = []
+
+        def body():
+            try:
+                yield loop.timeout(10.0)
+            except Interrupt as exc:
+                caught.append((loop.now, exc.cause))
+            return "done"
+
+        proc = loop.process(body())
+        loop.call_later(1.0, lambda: proc.interrupt("reason"))
+        loop.run()
+        assert caught == [(1.0, "reason")]  # resumed at interrupt time
+        assert proc.value == "done"
+
+    def test_unhandled_interrupt_ends_process_cleanly(self):
+        loop = EventLoop()
+
+        def body():
+            yield loop.timeout(10.0)
+
+        proc = loop.process(body())
+        loop.call_later(1.0, lambda: proc.interrupt())
+        loop.run()
+        assert proc.triggered and proc.ok
+
+    def test_deadlock_detected_by_run_process(self):
+        loop = EventLoop()
+
+        def body():
+            yield loop.event()  # never triggers
+
+        with pytest.raises(SimulationError, match="did not complete"):
+            loop.run_process(body())
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def simulate():
+            loop = EventLoop()
+            trace = []
+
+            def worker(name, period):
+                for _ in range(5):
+                    yield loop.timeout(period)
+                    trace.append((round(loop.now, 9), name))
+
+            loop.process(worker("a", 0.3))
+            loop.process(worker("b", 0.2))
+            loop.run()
+            return trace
+
+        assert simulate() == simulate()

@@ -1,0 +1,93 @@
+"""Tests for measurement helpers."""
+
+import pytest
+
+from repro.sim.trace import Counter, Histogram, RateMeter
+
+
+class TestHistogram:
+    def test_empty_histogram(self):
+        h = Histogram()
+        assert h.mean() == 0.0
+        assert h.p50() == 0.0
+        assert h.count == 0
+
+    def test_mean(self):
+        h = Histogram()
+        h.extend([1.0, 2.0, 3.0])
+        assert h.mean() == pytest.approx(2.0)
+
+    def test_median_odd(self):
+        h = Histogram()
+        h.extend([5.0, 1.0, 3.0])
+        assert h.p50() == pytest.approx(3.0)
+
+    def test_median_even_interpolates(self):
+        h = Histogram()
+        h.extend([1.0, 2.0, 3.0, 4.0])
+        assert h.p50() == pytest.approx(2.5)
+
+    def test_p99_on_uniform_samples(self):
+        h = Histogram()
+        h.extend(float(i) for i in range(101))  # 0..100
+        assert h.percentile(99) == pytest.approx(99.0)
+        assert h.percentile(0) == 0.0
+        assert h.percentile(100) == 100.0
+
+    def test_percentile_out_of_range(self):
+        h = Histogram()
+        h.record(1.0)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_single_sample(self):
+        h = Histogram()
+        h.record(7.0)
+        assert h.p50() == 7.0
+        assert h.p99() == 7.0
+        assert h.stddev() == 0.0
+
+    def test_stddev(self):
+        h = Histogram()
+        h.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert h.stddev() == pytest.approx(2.138, abs=1e-3)
+
+    def test_insertion_order_does_not_matter(self):
+        a, b = Histogram(), Histogram()
+        a.extend([3.0, 1.0, 2.0])
+        b.extend([1.0, 2.0, 3.0])
+        assert a.percentile(75) == b.percentile(75)
+
+
+class TestRateMeter:
+    def test_records_before_start_ignored(self):
+        m = RateMeter()
+        m.record(100)
+        m.start(now=1.0)
+        m.record(100)
+        m.stop(now=2.0)
+        assert m.completions == 1
+        assert m.rate() == pytest.approx(1.0)
+
+    def test_rate_and_goodput(self):
+        m = RateMeter()
+        m.start(now=0.0)
+        for _ in range(10):
+            m.record(1000)
+        m.stop(now=2.0)
+        assert m.rate() == pytest.approx(5.0)
+        assert m.goodput_bps() == pytest.approx(10 * 1000 * 8 / 2.0)
+
+    def test_zero_window(self):
+        m = RateMeter()
+        m.start(0.0)
+        m.stop(0.0)
+        assert m.rate() == 0.0
+
+
+class TestCounter:
+    def test_add(self):
+        c = Counter("x")
+        c.add()
+        c.add(5)
+        assert c.value == 6

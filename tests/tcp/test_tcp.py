@@ -1,0 +1,185 @@
+"""TCP substrate tests: reliability, ordering, retransmission, HoLB."""
+
+import pytest
+
+from repro.net.headers import PacketType
+from repro.tcp import connect_pair
+from repro.testbed import Testbed
+
+
+def run_echo(bed, c, s, size, count=1):
+    results = {}
+
+    def server():
+        t = bed.server.app_thread(0)
+        for _ in range(count):
+            data = b""
+            while len(data) < size:
+                data += yield from s.recv(t)
+            yield from s.send(t, data)
+
+    def client():
+        t = bed.client.app_thread(0)
+        rtts = []
+        for _ in range(count):
+            t0 = bed.loop.now
+            yield from c.send(t, b"\xab" * size)
+            data = b""
+            while len(data) < size:
+                data += yield from c.recv(t)
+            rtts.append(bed.loop.now - t0)
+            results["echo"] = data
+        results["rtts"] = rtts
+
+    bed.loop.process(server())
+    done = bed.loop.process(client())
+    bed.loop.run(until=5.0)
+    assert done.triggered, "client did not finish (deadlock?)"
+    if not done.ok:
+        raise done.value
+    return results
+
+
+class TestBasics:
+    def test_small_echo(self):
+        bed = Testbed.back_to_back()
+        c, s = connect_pair(bed.client, bed.server, 5000)
+        results = run_echo(bed, c, s, 64)
+        assert results["echo"] == b"\xab" * 64
+
+    def test_multi_packet_echo(self):
+        bed = Testbed.back_to_back()
+        c, s = connect_pair(bed.client, bed.server, 5000)
+        results = run_echo(bed, c, s, 8192)
+        assert results["echo"] == b"\xab" * 8192
+
+    def test_rtt_in_plausible_range(self):
+        bed = Testbed.back_to_back()
+        c, s = connect_pair(bed.client, bed.server, 5000)
+        results = run_echo(bed, c, s, 64)
+        rtt = results["rtts"][0]
+        assert 5e-6 < rtt < 100e-6  # tens of microseconds
+
+    def test_data_integrity_large_transfer(self):
+        bed = Testbed.back_to_back()
+        c, s = connect_pair(bed.client, bed.server, 5000)
+        payload = bytes(i & 0xFF for i in range(300_000))
+        got = {}
+
+        def tx():
+            yield from c.send(bed.client.app_thread(0), payload)
+
+        def rx():
+            t = bed.server.app_thread(0)
+            data = b""
+            while len(data) < len(payload):
+                data += yield from s.recv(t)
+            got["data"] = data
+
+        bed.loop.process(tx())
+        done = bed.loop.process(rx())
+        bed.loop.run(until=5.0)
+        assert done.triggered and done.ok
+        assert got["data"] == payload
+
+    def test_bidirectional_concurrent(self):
+        bed = Testbed.back_to_back()
+        c, s = connect_pair(bed.client, bed.server, 5000)
+        got = {}
+
+        def side(name, conn, thread, payload):
+            yield from conn.send(thread, payload)
+            data = b""
+            while len(data) < 1000:
+                data += yield from conn.recv(thread)
+            got[name] = data
+
+        p1 = bed.loop.process(side("c", c, bed.client.app_thread(0), b"c" * 1000))
+        p2 = bed.loop.process(side("s", s, bed.server.app_thread(0), b"s" * 1000))
+        bed.loop.run(until=5.0)
+        assert p1.ok and p2.ok
+        assert got["c"] == b"s" * 1000 and got["s"] == b"c" * 1000
+
+    def test_empty_send_rejected(self):
+        from repro.errors import TransportError
+
+        bed = Testbed.back_to_back()
+        c, _ = connect_pair(bed.client, bed.server, 5000)
+
+        def body():
+            yield from c.send(bed.client.app_thread(0), b"")
+
+        proc = bed.loop.process(body())
+        bed.loop.run()
+        assert not proc.ok and isinstance(proc.value, TransportError)
+
+
+class TestLossRecovery:
+    def _lossy_echo(self, drop_predicate, size=8192):
+        bed = Testbed.back_to_back()
+        c, s = connect_pair(bed.client, bed.server, 5000, rto=0.5e-3)
+        state = {"count": 0}
+
+        def loss_fn(packet):
+            if packet.transport.pkt_type != PacketType.DATA:
+                return False
+            state["count"] += 1
+            return drop_predicate(state["count"], packet)
+
+        bed.link.set_loss_fn("a", loss_fn)
+        results = run_echo(bed, c, s, size)
+        assert results["echo"] == b"\xab" * size
+        return bed, c, s
+
+    def test_single_loss_recovers(self):
+        bed, c, s = self._lossy_echo(lambda n, p: n == 2)
+        assert c.retransmits >= 1
+
+    def test_first_packet_loss_recovers(self):
+        bed, c, s = self._lossy_echo(lambda n, p: n == 1)
+        assert c.retransmits >= 1
+
+    def test_fast_retransmit_triggers_on_dupacks(self):
+        # Drop one mid-window packet; later packets generate dup ACKs.
+        bed, c, s = self._lossy_echo(lambda n, p: n == 2, size=60_000)
+        assert c.fast_retransmits >= 1
+
+    def test_burst_loss_recovers(self):
+        bed, c, s = self._lossy_echo(lambda n, p: n in (2, 3, 4), size=30_000)
+        assert c.retransmits >= 1
+
+    def test_periodic_loss_recovers(self):
+        bed, c, s = self._lossy_echo(lambda n, p: n % 7 == 0, size=100_000)
+        assert c.retransmits >= 1
+
+    def test_out_of_order_buffering(self):
+        # With loss, later segments arrive before the retransmitted gap;
+        # delivery must stay in order.
+        bed = Testbed.back_to_back()
+        c, s = connect_pair(bed.client, bed.server, 5000, rto=0.5e-3)
+        dropped = [False]
+
+        def loss_fn(packet):
+            if packet.transport.pkt_type == PacketType.DATA and not dropped[0]:
+                dropped[0] = True
+                return True
+            return False
+
+        bed.link.set_loss_fn("a", loss_fn)
+        payload = bytes(i & 0xFF for i in range(50_000))
+        got = {}
+
+        def tx():
+            yield from c.send(bed.client.app_thread(0), payload)
+
+        def rx():
+            t = bed.server.app_thread(0)
+            data = b""
+            while len(data) < len(payload):
+                data += yield from s.recv(t)
+            got["data"] = data
+
+        bed.loop.process(tx())
+        done = bed.loop.process(rx())
+        bed.loop.run(until=5.0)
+        assert done.ok and got["data"] == payload

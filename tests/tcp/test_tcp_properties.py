@@ -1,0 +1,114 @@
+"""Property-based TCP reliability: arbitrary loss patterns never corrupt."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.headers import PacketType
+from repro.tcp import connect_pair
+from repro.testbed import Testbed
+
+
+def transfer_with_loss(drop_set, payload_len, both_directions=False):
+    bed = Testbed.back_to_back()
+    c, s = connect_pair(bed.client, bed.server, 5000, rto=0.3e-3)
+    counters = {"a": 0, "b": 0}
+
+    def loss_fn(side):
+        def fn(packet):
+            if packet.transport.pkt_type != PacketType.DATA:
+                return False
+            counters[side] += 1
+            return counters[side] in drop_set
+
+        return fn
+
+    bed.link.set_loss_fn("a", loss_fn("a"))
+    if both_directions:
+        bed.link.set_loss_fn("b", loss_fn("b"))
+    payload = bytes(i & 0xFF for i in range(payload_len))
+    got = {}
+
+    def tx():
+        yield from c.send(bed.client.app_thread(0), payload)
+
+    def rx():
+        thread = bed.server.app_thread(0)
+        data = b""
+        while len(data) < payload_len:
+            data += yield from s.recv(thread)
+        got["data"] = data
+        yield from s.send(thread, b"done")
+
+    def rx_ack():
+        thread = bed.client.app_thread(1)
+        data = b""
+        while len(data) < 4:
+            data += yield from c.recv(thread)
+        got["ack"] = data
+
+    bed.loop.process(tx())
+    bed.loop.process(rx())
+    done = bed.loop.process(rx_ack())
+    bed.loop.run(until=10.0)
+    assert done.triggered, f"deadlock with drops {sorted(drop_set)}"
+    assert got["data"] == payload
+    assert got["ack"] == b"done"
+
+
+class TestLossProperties:
+    @given(
+        st.sets(st.integers(min_value=1, max_value=40), max_size=8),
+        st.integers(min_value=1, max_value=50_000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_any_loss_pattern_recovers(self, drop_set, payload_len):
+        transfer_with_loss(drop_set, payload_len)
+
+    @given(st.sets(st.integers(min_value=1, max_value=20), max_size=5))
+    @settings(max_examples=10, deadline=None)
+    def test_bidirectional_loss_recovers(self, drop_set):
+        transfer_with_loss(drop_set, 20_000, both_directions=True)
+
+
+class TestHomaLossProperties:
+    @given(
+        st.sets(st.integers(min_value=1, max_value=30), max_size=6),
+        st.integers(min_value=1, max_value=40_000),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_any_loss_pattern_delivers_message(self, drop_set, size):
+        from repro.homa import HomaConfig, HomaSocket, HomaTransport
+
+        bed = Testbed.back_to_back()
+        config = HomaConfig(resend_interval=100e-6)
+        ct = HomaTransport(bed.client, config)
+        st_ = HomaTransport(bed.server, HomaConfig(resend_interval=100e-6))
+        csock = HomaSocket(ct, bed.client.alloc_port())
+        ssock = HomaSocket(st_, 6000)
+        counter = [0]
+
+        def loss_fn(packet):
+            if packet.transport.pkt_type == PacketType.DATA:
+                counter[0] += 1
+                return counter[0] in drop_set
+            return False
+
+        bed.link.set_loss_fn("a", loss_fn)
+
+        def server():
+            thread = bed.server.app_thread(0)
+            rpc = yield from ssock.recv_request(thread)
+            yield from ssock.reply(thread, rpc, rpc.payload)
+
+        bed.loop.process(server())
+        payload = bytes(i & 0xFF for i in range(size))
+        out = {}
+
+        def client():
+            thread = bed.client.app_thread(0)
+            out["r"] = yield from csock.call(thread, bed.server.addr, 6000, payload)
+
+        done = bed.loop.process(client())
+        bed.loop.run(until=10.0)
+        assert done.triggered and done.ok, f"drops={sorted(drop_set)} size={size}"
+        assert out["r"] == payload

@@ -1,0 +1,53 @@
+"""Whole-simulation determinism: identical seeds give identical results.
+
+Reproducibility is a first-class property of the substrate: every RNG is
+seeded, the event loop breaks ties deterministically, and nothing consults
+wall time.  These tests re-run full experiments and demand bit-identical
+outcomes.
+"""
+
+import pytest
+
+from repro.bench.runner import throughput, unloaded_rtt
+
+
+class TestDeterminism:
+    def test_unloaded_rtt_reproducible(self):
+        a = unloaded_rtt("smt-hw", 1024, repetitions=8)
+        b = unloaded_rtt("smt-hw", 1024, repetitions=8)
+        assert a.mean == b.mean
+        assert a.p99 == b.p99
+
+    def test_throughput_reproducible(self):
+        a = throughput("ktls-sw", 1024, 30, duration=1e-3)
+        b = throughput("ktls-sw", 1024, 30, duration=1e-3)
+        assert a.rate == b.rate
+        assert a.server_cpu == b.server_cpu
+
+    def test_kv_run_reproducible(self):
+        from repro.bench.fig8 import run_kv
+
+        assert run_kv("smt-sw", "B", 256, duration=1e-3) == run_kv(
+            "smt-sw", "B", 256, duration=1e-3
+        )
+
+    def test_nvme_run_reproducible(self):
+        from repro.bench.fig9 import run_point
+
+        a = run_point("homa", 4, duration=2e-3)
+        b = run_point("homa", 4, duration=2e-3)
+        assert (a.p50_us, a.p99_us, a.iops) == (b.p50_us, b.p99_us, b.iops)
+
+    def test_seeds_change_results(self):
+        from repro.bench.fig9 import run_point
+
+        a = run_point("homa", 4, duration=2e-3, seed=0)
+        b = run_point("homa", 4, duration=2e-3, seed=1)
+        assert a.p50_us != b.p50_us  # different device-latency draws
+
+    def test_handshake_reproducible(self):
+        from repro.bench.fig12 import _zero_rtt
+
+        a = _zero_rtt(forward_secrecy=True)
+        b = _zero_rtt(forward_secrecy=True)
+        assert a.finished_at == b.finished_at

@@ -1,0 +1,45 @@
+"""Smoke tests: the runnable examples keep working.
+
+Only the fast examples run here (the benchmark-style ones are covered by
+``benchmarks/``).  Each executes in-process with its printed output
+captured; assertions inside the examples do the verifying.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "plaintext visible on the wire: False" in out
+        assert "OK:" in out
+
+    def test_zero_rtt(self, capsys):
+        out = run_example("zero_rtt.py", capsys)
+        assert "0 network round trips" in out
+        assert "OK:" in out
+
+    def test_attack_demo(self, capsys):
+        out = run_example("attack_demo.py", capsys)
+        assert "replay attack" in out
+        assert "OK:" in out
+
+    def test_offload_anatomy(self, capsys):
+        out = run_example("offload_anatomy.py", capsys)
+        assert out.count("CORRUPTED") == 3  # Out-seq + the two shared-queue records
+        assert out.count("decrypted OK") == 5
+
+    def test_incast_trimming(self, capsys):
+        out = run_example("incast_trimming.py", capsys)
+        assert "trimming ON" in out and "trimming OFF" in out

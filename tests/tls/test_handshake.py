@@ -1,0 +1,270 @@
+"""TLS 1.3 handshake state-machine tests."""
+
+import random
+
+import pytest
+
+from repro.crypto.ca import CertificateAuthority
+from repro.crypto.cert import KEY_ALG_ECDSA, KEY_ALG_RSA
+from repro.crypto.ecdh import EcdhKeyPair
+from repro.crypto.ecdsa import EcdsaKeyPair
+from repro.crypto.rsa import RsaKeyPair
+from repro.errors import AuthenticationError, ProtocolError
+from repro.tls.handshake import (
+    ClientHandshake,
+    HandshakeConfig,
+    ServerCredentials,
+    ServerHandshake,
+)
+from repro.tls.messages import HandshakeMessage
+
+
+@pytest.fixture(scope="module")
+def pki():
+    rng = random.Random(1)
+    ca = CertificateAuthority("dc-root", rng)
+    server_key = EcdsaKeyPair.generate(rng)
+    leaf = ca.issue("server", KEY_ALG_ECDSA, server_key.public_bytes())
+    creds = ServerCredentials(chain=ca.chain_for(leaf), signing_key=server_key)
+    client_key = EcdsaKeyPair.generate(rng)
+    client_leaf = ca.issue("client", KEY_ALG_ECDSA, client_key.public_bytes())
+    client_creds = ServerCredentials(chain=ca.chain_for(client_leaf), signing_key=client_key)
+    return ca, creds, client_creds
+
+
+def run_handshake(pki, client_cfg=None, server_cfg=None, client_creds=None, cache=None):
+    ca, creds, default_client_creds = pki
+    roots = (ca.certificate,)
+    client_cfg = client_cfg or HandshakeConfig(
+        rng=random.Random(2), server_name="server", trust_roots=roots
+    )
+    server_cfg = server_cfg or HandshakeConfig(rng=random.Random(3), trust_roots=roots)
+    client = ClientHandshake(client_cfg, client_creds)
+    server = ServerHandshake(server_cfg, creds, session_cache=cache if cache is not None else {})
+    flight = server.process_client_hello(client.start())
+    server.process_client_flight(client.process_server_flight(flight))
+    return client, server
+
+
+class TestFullHandshake:
+    def test_secrets_agree(self, pki):
+        client, server = run_handshake(pki)
+        assert client.result.client_app_secret == server.result.client_app_secret
+        assert client.result.server_app_secret == server.result.server_app_secret
+
+    def test_resumption_master_agrees(self, pki):
+        client, server = run_handshake(pki)
+        assert client.result.resumption_master == server.result.resumption_master
+
+    def test_no_psk_used(self, pki):
+        client, _ = run_handshake(pki)
+        assert not client.result.used_psk and client.result.used_ecdhe
+
+    def test_client_saw_server_cert(self, pki):
+        client, _ = run_handshake(pki)
+        assert client.result.peer_certificate.subject == "server"
+
+    def test_traffic_keys_distinct_per_direction(self, pki):
+        client, _ = run_handshake(pki)
+        cw, sw = client.result.traffic_keys()
+        assert cw != sw
+
+    def test_trace_matches_table2_ops(self, pki):
+        client, server = run_handshake(pki)
+        assert [op.op_id for op in server.trace] == [
+            "S1", "S2.1", "S2.2", "S2.3", "S2.4", "S2.5", "S2.6", "S3",
+        ]
+        assert [op.op_id for op in client.trace] == [
+            "C1.1", "C1.2", "C2.1", "C2.2", "C2.3", "C3.1", "C3.2", "C4.1",
+            "C4.2", "C5",
+        ]
+
+    def test_pregenerated_keys_skip_keygen_ops(self, pki):
+        ca, creds, _ = pki
+        roots = (ca.certificate,)
+        rng = random.Random(5)
+        ccfg = HandshakeConfig(
+            rng=rng, server_name="server", trust_roots=roots,
+            pregenerated_keypair=EcdhKeyPair.generate(rng),
+        )
+        scfg = HandshakeConfig(
+            rng=rng, trust_roots=roots,
+            pregenerated_keypair=EcdhKeyPair.generate(rng),
+        )
+        client, server = run_handshake(pki, ccfg, scfg)
+        assert "C1.1" not in [op.op_id for op in client.trace]
+        assert "S2.1" not in [op.op_id for op in server.trace]
+        assert client.result.client_app_secret == server.result.client_app_secret
+
+    def test_rsa_server(self, pki):
+        ca, _, _ = pki
+        rng = random.Random(7)
+        rsa_key = RsaKeyPair.generate(1024, rng)
+        leaf = ca.issue("server", KEY_ALG_RSA, rsa_key.public_bytes())
+        creds = ServerCredentials(
+            chain=ca.chain_for(leaf), signing_key=rsa_key, key_alg=KEY_ALG_RSA
+        )
+        roots = (ca.certificate,)
+        client = ClientHandshake(
+            HandshakeConfig(rng=random.Random(8), server_name="server", trust_roots=roots)
+        )
+        server = ServerHandshake(HandshakeConfig(rng=random.Random(9), trust_roots=roots), creds)
+        flight = server.process_client_hello(client.start())
+        server.process_client_flight(client.process_server_flight(flight))
+        assert client.result.client_app_secret == server.result.client_app_secret
+        # RSA shows up in the verify op detail, as Table 2's "+" column.
+        c42 = next(op for op in client.trace if op.op_id == "C4.2")
+        assert c42.detail["alg"] == KEY_ALG_RSA
+
+
+class TestMutualAuth:
+    def test_client_certificate_verified(self, pki):
+        ca, _, client_creds = pki
+        roots = (ca.certificate,)
+        ccfg = HandshakeConfig(
+            rng=random.Random(2), server_name="server", trust_roots=roots, mutual_auth=True
+        )
+        scfg = HandshakeConfig(rng=random.Random(3), trust_roots=roots, mutual_auth=True)
+        client, server = run_handshake(pki, ccfg, scfg, client_creds=client_creds)
+        assert server.result.peer_certificate.subject == "client"
+
+    def test_missing_client_cert_rejected(self, pki):
+        ca, creds, _ = pki
+        roots = (ca.certificate,)
+        ccfg = HandshakeConfig(
+            rng=random.Random(2), server_name="server", trust_roots=roots, mutual_auth=True
+        )
+        scfg = HandshakeConfig(rng=random.Random(3), trust_roots=roots, mutual_auth=True)
+        client = ClientHandshake(ccfg)  # no credentials
+        server = ServerHandshake(scfg, creds)
+        with pytest.raises(ProtocolError):
+            client.process_server_flight(server.process_client_hello(client.start()))
+
+
+class TestResumption:
+    def _establish_and_get_ticket(self, pki, cache):
+        client, server = run_handshake(pki, cache=cache)
+        ticket_record = server.issue_ticket()
+        tickets = client.process_tickets(ticket_record)
+        assert len(tickets) == 1
+        return tickets[0]
+
+    def test_resumption_with_forward_secrecy(self, pki):
+        ca, creds, _ = pki
+        roots = (ca.certificate,)
+        cache = {}
+        ticket = self._establish_and_get_ticket(pki, cache)
+        ccfg = HandshakeConfig(
+            rng=random.Random(11), server_name="server", trust_roots=roots,
+            ticket=ticket, forward_secrecy=True,
+        )
+        client, server = run_handshake(pki, ccfg, HandshakeConfig(
+            rng=random.Random(12), trust_roots=roots), cache=cache)
+        assert client.result.used_psk and client.result.used_ecdhe
+        assert client.result.client_app_secret == server.result.client_app_secret
+
+    def test_resumption_without_forward_secrecy_skips_ecdhe(self, pki):
+        ca, creds, _ = pki
+        roots = (ca.certificate,)
+        cache = {}
+        ticket = self._establish_and_get_ticket(pki, cache)
+        ccfg = HandshakeConfig(
+            rng=random.Random(11), server_name="server", trust_roots=roots,
+            ticket=ticket, forward_secrecy=False,
+        )
+        client, server = run_handshake(pki, ccfg, HandshakeConfig(
+            rng=random.Random(12), trust_roots=roots), cache=cache)
+        assert client.result.used_psk and not client.result.used_ecdhe
+        assert "C2.2" not in [op.op_id for op in client.trace]
+        assert client.result.client_app_secret == server.result.client_app_secret
+
+    def test_resumed_handshake_sends_no_certificate(self, pki):
+        ca, creds, _ = pki
+        roots = (ca.certificate,)
+        cache = {}
+        ticket = self._establish_and_get_ticket(pki, cache)
+        ccfg = HandshakeConfig(
+            rng=random.Random(11), server_name="server", trust_roots=roots, ticket=ticket,
+        )
+        client, _ = run_handshake(pki, ccfg, HandshakeConfig(
+            rng=random.Random(12), trust_roots=roots), cache=cache)
+        assert client.result.peer_certificate is None
+        assert "C3.2" not in [op.op_id for op in client.trace]
+
+    def test_unknown_ticket_falls_back_to_full(self, pki):
+        from repro.tls.handshake import SessionTicket
+
+        ca, creds, _ = pki
+        roots = (ca.certificate,)
+        bogus = SessionTicket(ticket_id=b"\x00" * 16, psk=b"\x01" * 32, lifetime=100.0)
+        ccfg = HandshakeConfig(
+            rng=random.Random(11), server_name="server", trust_roots=roots, ticket=bogus,
+        )
+        client, server = run_handshake(pki, ccfg, cache={})
+        assert not client.result.used_psk
+        assert client.result.peer_certificate is not None
+
+    def test_corrupted_binder_rejected(self, pki):
+        ca, creds, _ = pki
+        roots = (ca.certificate,)
+        cache = {}
+        ticket = self._establish_and_get_ticket(pki, cache)
+        import repro.tls.messages as messages
+
+        ccfg = HandshakeConfig(
+            rng=random.Random(11), server_name="server", trust_roots=roots, ticket=ticket,
+        )
+        client = ClientHandshake(ccfg)
+        chlo = client.start()
+        msg, _ = HandshakeMessage.decode(chlo)
+        msg.fields[messages.F_PSK_BINDER] = bytes(32)
+        server = ServerHandshake(
+            HandshakeConfig(rng=random.Random(12), trust_roots=roots), creds, cache
+        )
+        with pytest.raises(AuthenticationError):
+            server.process_client_hello(msg.encode())
+
+
+class TestAttacks:
+    def test_wrong_server_name_rejected(self, pki):
+        ca, creds, _ = pki
+        roots = (ca.certificate,)
+        ccfg = HandshakeConfig(
+            rng=random.Random(2), server_name="other-server", trust_roots=roots
+        )
+        client = ClientHandshake(ccfg)
+        server = ServerHandshake(HandshakeConfig(rng=random.Random(3), trust_roots=roots), creds)
+        with pytest.raises(AuthenticationError):
+            client.process_server_flight(server.process_client_hello(client.start()))
+
+    def test_untrusted_ca_rejected(self, pki):
+        _, creds, _ = pki
+        rogue = CertificateAuthority("rogue", random.Random(66))
+        ccfg = HandshakeConfig(
+            rng=random.Random(2), server_name="server", trust_roots=(rogue.certificate,)
+        )
+        client = ClientHandshake(ccfg)
+        server = ServerHandshake(
+            HandshakeConfig(rng=random.Random(3), trust_roots=(rogue.certificate,)), creds
+        )
+        with pytest.raises(AuthenticationError):
+            client.process_server_flight(server.process_client_hello(client.start()))
+
+    def test_tampered_server_flight_rejected(self, pki):
+        _, creds, _ = pki
+        ca, _, _ = pki
+        roots = (ca.certificate,)
+        client = ClientHandshake(
+            HandshakeConfig(rng=random.Random(2), server_name="server", trust_roots=roots)
+        )
+        server = ServerHandshake(HandshakeConfig(rng=random.Random(3), trust_roots=roots), creds)
+        flight = bytearray(server.process_client_hello(client.start()))
+        flight[-1] ^= 1  # inside the encrypted portion
+        with pytest.raises(AuthenticationError):
+            client.process_server_flight(bytes(flight))
+
+    def test_malformed_chlo_rejected(self, pki):
+        _, creds, _ = pki
+        server = ServerHandshake(HandshakeConfig(rng=random.Random(3)), creds)
+        with pytest.raises(ProtocolError):
+            server.process_client_hello(b"\x01\x00\x00")

@@ -1,0 +1,86 @@
+"""TLS 1.3 key schedule tests."""
+
+import pytest
+
+from repro.crypto.kdf import transcript_hash
+from repro.tls.keyschedule import KeySchedule, TrafficKeys
+
+
+@pytest.fixture()
+def schedule():
+    ks = KeySchedule()
+    ks.inject_ecdhe(b"\xab" * 32)
+    return ks
+
+
+class TestLadder:
+    def test_directions_get_distinct_secrets(self, schedule):
+        th = transcript_hash(b"msgs")
+        assert schedule.client_handshake_traffic_secret(
+            th
+        ) != schedule.server_handshake_traffic_secret(th)
+
+    def test_handshake_and_app_secrets_differ(self, schedule):
+        th = transcript_hash(b"msgs")
+        assert schedule.client_handshake_traffic_secret(
+            th
+        ) != schedule.client_app_traffic_secret(th)
+
+    def test_transcript_binds_secrets(self, schedule):
+        a = schedule.client_app_traffic_secret(transcript_hash(b"one"))
+        b = schedule.client_app_traffic_secret(transcript_hash(b"two"))
+        assert a != b
+
+    def test_same_inputs_same_outputs(self):
+        th = transcript_hash(b"x")
+        outs = []
+        for _ in range(2):
+            ks = KeySchedule()
+            ks.inject_ecdhe(b"\x01" * 32)
+            outs.append(ks.client_app_traffic_secret(th))
+        assert outs[0] == outs[1]
+
+    def test_psk_changes_early_secret(self):
+        plain = KeySchedule()
+        psk = KeySchedule(psk=b"\x42" * 32)
+        assert plain.binder_key() != psk.binder_key()
+
+    def test_ecdhe_changes_app_secrets(self):
+        th = transcript_hash(b"x")
+        a = KeySchedule()
+        a.inject_ecdhe(b"\x01" * 32)
+        b = KeySchedule()
+        b.inject_ecdhe(b"\x02" * 32)
+        assert a.client_app_traffic_secret(th) != b.client_app_traffic_secret(th)
+
+    def test_resumption_psk_derivation(self, schedule):
+        res = schedule.resumption_master_secret(transcript_hash(b"full"))
+        psk1 = KeySchedule.psk_from_resumption(res, b"\x00")
+        psk2 = KeySchedule.psk_from_resumption(res, b"\x01")
+        assert psk1 != psk2 and len(psk1) == 32
+
+
+class TestTrafficKeys:
+    def test_sizes(self):
+        keys = TrafficKeys.from_secret(bytes(32))
+        assert len(keys.key) == 16  # AES-128
+        assert len(keys.iv) == 12
+
+    def test_key_and_iv_differ_per_secret(self):
+        a = TrafficKeys.from_secret(b"\x01" * 32)
+        b = TrafficKeys.from_secret(b"\x02" * 32)
+        assert a.key != b.key and a.iv != b.iv
+
+
+class TestFinished:
+    def test_finished_mac_binds_transcript(self, schedule):
+        secret = schedule.client_handshake_traffic_secret(transcript_hash(b"a"))
+        mac1 = KeySchedule.finished_mac(secret, transcript_hash(b"t1"))
+        mac2 = KeySchedule.finished_mac(secret, transcript_hash(b"t2"))
+        assert mac1 != mac2
+
+    def test_finished_mac_binds_secret(self, schedule):
+        th = transcript_hash(b"t")
+        s1 = schedule.client_handshake_traffic_secret(transcript_hash(b"a"))
+        s2 = schedule.server_handshake_traffic_secret(transcript_hash(b"a"))
+        assert KeySchedule.finished_mac(s1, th) != KeySchedule.finished_mac(s2, th)

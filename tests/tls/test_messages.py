@@ -1,0 +1,72 @@
+"""Handshake message framing tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolError
+from repro.tls.messages import HandshakeMessage
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self):
+        msg = HandshakeMessage(1, {1: b"rand", 3: b"\x04" * 65})
+        decoded, consumed = HandshakeMessage.decode(msg.encode())
+        assert decoded == msg and consumed == len(msg.encode())
+
+    def test_empty_fields(self):
+        msg = HandshakeMessage(20, {})
+        decoded, _ = HandshakeMessage.decode(msg.encode())
+        assert decoded.fields == {}
+
+    def test_decode_all_flight(self):
+        flight = HandshakeMessage(1, {1: b"a"}).encode() + HandshakeMessage(
+            2, {2: b"b"}
+        ).encode()
+        messages = HandshakeMessage.decode_all(flight)
+        assert [m.msg_type for m in messages] == [1, 2]
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(ProtocolError):
+            HandshakeMessage.decode(b"\x01\x00")
+
+    def test_truncated_body_rejected(self):
+        data = HandshakeMessage(1, {1: b"abc"}).encode()
+        with pytest.raises(ProtocolError):
+            HandshakeMessage.decode(data[:-1])
+
+    def test_truncated_field_rejected(self):
+        # Field claims 10 bytes, body ends after 2.
+        bad = bytes((1,)) + (6).to_bytes(3, "big") + (1).to_bytes(2, "big") + (
+            10
+        ).to_bytes(2, "big")
+        with pytest.raises(ProtocolError):
+            HandshakeMessage.decode(bad + b"xx")
+
+    def test_duplicate_field_rejected(self):
+        field = (1).to_bytes(2, "big") + (1).to_bytes(2, "big") + b"x"
+        body = field + field
+        data = bytes((1,)) + len(body).to_bytes(3, "big") + body
+        with pytest.raises(ProtocolError):
+            HandshakeMessage.decode(data)
+
+    def test_require_missing_field(self):
+        msg = HandshakeMessage(1, {})
+        with pytest.raises(ProtocolError):
+            msg.require(5)
+
+    def test_oversized_field_rejected(self):
+        with pytest.raises(ProtocolError):
+            HandshakeMessage(1, {1: bytes(70_000)}).encode()
+
+    @given(
+        st.integers(0, 255),
+        st.dictionaries(st.integers(0, 0xFFFF), st.binary(max_size=200), max_size=8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, msg_type, fields):
+        msg = HandshakeMessage(msg_type, fields)
+        decoded, consumed = HandshakeMessage.decode(msg.encode())
+        assert decoded.msg_type == msg_type
+        assert decoded.fields == fields
+        assert consumed == len(msg.encode())
