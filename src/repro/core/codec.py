@@ -72,6 +72,10 @@ class SmtCodec:
     def accept_message(self, msg_id: int) -> bool:
         return self.session.accept_message(msg_id)
 
+    def forgive_message(self, msg_id: int) -> bool:
+        """Re-admit an ID whose bytes failed authentication (recovery)."""
+        return self.session.forgive_message(msg_id)
+
     def _pad(self, payload: bytes) -> bytes:
         """Wrap payload as ``true_len || payload || zeros`` up to the bucket."""
         if not self.pad_to:

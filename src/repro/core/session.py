@@ -55,6 +55,7 @@ class SmtSession:
         self._watermark = -1  # IDs <= watermark are rejected outright
         self._max_seen = -1
         self.replays_rejected = 0
+        self.messages_forgiven = 0
         # Host shadow of per-queue NIC flow contexts (offload mode).
         self._queue_expected: dict[int, Optional[int]] = {}
         self.resyncs_issued = 0
@@ -99,6 +100,22 @@ class SmtSession:
         if len(self._seen_ids) > 2 * REPLAY_WINDOW_IDS:
             self._watermark = max(self._watermark, self._max_seen - REPLAY_WINDOW_IDS)
             self._seen_ids = {i for i in self._seen_ids if i > self._watermark}
+        return True
+
+    def forgive_message(self, msg_id: int) -> bool:
+        """Allow ``msg_id`` one more :meth:`accept_message` pass.
+
+        Corruption recovery: the reassembled bytes under this ID failed
+        AEAD verification, so nothing was ever *accepted* at the crypto
+        layer -- re-admitting the ID lets the sender's retransmission
+        (identical ciphertext: same key, same nonces) be processed.  IDs
+        already folded below the pruning watermark cannot be selectively
+        forgiven; the session stays fail-closed for those (returns False).
+        """
+        if msg_id <= self._watermark:
+            return False
+        self._seen_ids.discard(msg_id)
+        self.messages_forgiven += 1
         return True
 
     # -- NIC flow contexts (transmit offload) ------------------------------------------

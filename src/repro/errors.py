@@ -27,6 +27,15 @@ class ReplayError(ReproError):
     """A message or record with an already-seen identity arrived."""
 
 
+class SessionFailedError(ReproError):
+    """A secure session failed closed.
+
+    Raised when corruption recovery gives up: a message repeatedly failed
+    AEAD verification past the configured retry budget, so the endpoint
+    refuses to deliver anything rather than risk accepting tampered data.
+    """
+
+
 class ProtocolError(ReproError):
     """A peer violated the protocol state machine or wire format."""
 

@@ -33,6 +33,21 @@ class HomaConfig:
     resend_interval: float = 1000 * USEC
     # Give up on an incomplete inbound message after this many resends.
     max_resends: int = 10
+    # Multiplicative backoff between successive resend requests (1.0 keeps
+    # the fixed interval; adversarial-network runs use >1 so persistent
+    # outages -- link flaps, burst loss -- do not cause retry storms).
+    resend_backoff: float = 1.0
+    # Ceiling on the backed-off resend interval.
+    max_resend_interval: float = 20_000 * USEC
+    # Recover messages whose reassembled bytes fail AEAD verification by
+    # re-requesting them from the sender (the corrupted-wire case, paper
+    # §7: SMT's AEAD replaces the transport checksum).  Off by default:
+    # without it a bad record surfaces AuthenticationError to the
+    # application, the TLS-like fail-closed behaviour.
+    corruption_recovery: bool = False
+    # After this many failed decodes of one message the session fails
+    # closed with SessionFailedError instead of retrying forever.
+    max_corrupt_recoveries: int = 8
     # Sender frees an unacknowledged fully-sent message after this long.
     sender_timeout: float = 10_000 * USEC
     # Network priority levels (strict; 7 highest).

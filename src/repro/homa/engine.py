@@ -50,6 +50,7 @@ class HomaTransport:
         self.spurious_ignored = 0
         self.resend_requests = 0
         self.packets_retransmitted = 0
+        self.corrupt_recoveries = 0
 
     # -- socket registry ---------------------------------------------------------
 
@@ -351,7 +352,11 @@ class HomaTransport:
             if freed is not None:
                 freed.acked = True
                 self._encoded.pop(request_key, None)
-            cost += self._queue_ack(inbound, socket)
+            # Under corruption recovery the ACK must wait until the bytes
+            # actually authenticate (it frees the responder's retransmit
+            # state); the socket calls confirm_response() after decode.
+            if not self.config.corruption_recovery:
+                cost += self._queue_ack(inbound, socket)
         # Requests need no explicit ACK: the response implies it; sender
         # timeouts clean up one-way messages.
         socket.deliver(inbound, wire)
@@ -450,6 +455,13 @@ class HomaTransport:
         jitter = 1.0 + ((inbound.msg_id * 2654435761) % 64) / 128.0
         interval = self.config.resend_interval * jitter
 
+        def next_interval() -> float:
+            # Exponential backoff (resend_backoff > 1) bounded by the
+            # configured ceiling -- but never below the base interval, so
+            # the default backoff of 1.0 reproduces the fixed timer.
+            grown = interval * self.config.resend_backoff ** min(inbound.resends, 16)
+            return min(grown, max(interval, self.config.max_resend_interval))
+
         def check() -> None:
             if inbound.delivered or self._inbound.get(key) is not inbound:
                 return
@@ -463,7 +475,7 @@ class HomaTransport:
                     inbound.local_port, self.proto,
                 )
                 core.submit(self.costs.homa_grant_tx, lambda: self._request_resend(inbound))
-            self.loop.call_later(interval, check)
+            self.loop.call_later(next_interval(), check)
 
         self.loop.call_later(interval, check)
 
@@ -567,6 +579,51 @@ class HomaTransport:
                 priority=self.config.control_priority,
             ),
         )
+
+    # .. corruption recovery ..
+
+    def recover_inbound(self, inbound) -> None:
+        """Un-deliver a message whose reassembled bytes failed to decode.
+
+        Called by the socket layer (app-thread context) when AEAD
+        verification rejects a delivered message: wire corruption slipped
+        past the (checksum-free, §7) transport.  The delivered-ID table
+        entry is removed and the codec's replay filter forgives the ID so
+        the sender's retransmission -- byte-identical ciphertext: same
+        key, same nonces -- can be reassembled and delivered afresh.
+        """
+        key = (inbound.peer_addr, inbound.peer_port, inbound.msg_id)
+        self._delivered.discard(key)
+        socket = self._sockets.get(inbound.local_port)
+        if socket is not None:
+            codec = socket.codec_for(inbound.peer_addr, inbound.peer_port)
+            forgive = getattr(codec, "forgive_message", None)
+            if forgive is not None:
+                forgive(inbound.msg_id)
+        self.corrupt_recoveries += 1
+        self.resend_requests += 1
+        # Whole-message RESEND (msg_len == 0): any packet of the original
+        # delivery may have carried the flipped bits.
+        self._send_control(
+            inbound.peer_addr,
+            TransportHeader(
+                src_port=0,
+                dst_port=inbound.peer_port,
+                msg_id=inbound.msg_id,
+                pkt_type=PacketType.RESEND,
+                tso_offset=0,
+                msg_len=0,
+                priority=self.config.control_priority,
+            ),
+        )
+
+    def confirm_response(self, inbound, socket) -> float:
+        """ACK a response whose decode succeeded (corruption-recovery mode).
+
+        In that mode :meth:`_deliver` defers the lazy ACK so the responder
+        keeps its retransmit state until the bytes authenticate.
+        """
+        return self._queue_ack(inbound, socket)
 
     def _handle_resend(self, packet: Packet) -> Optional[float]:
         """Sender side: retransmit one segment as explicit-offset packets."""

@@ -15,7 +15,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Generator, Optional
 
-from repro.errors import TransportError
+from repro.errors import (
+    AuthenticationError,
+    ProtocolError,
+    SessionFailedError,
+    TransportError,
+)
 from repro.homa.codec import MessageCodec, PlainCodec
 from repro.homa.engine import HomaTransport
 from repro.homa.message import InboundMessage
@@ -50,6 +55,8 @@ class HomaSocket:
         self._codec_provider = codec_provider or (lambda addr, port_: default_codec)
         self._rx_requests: Store = Store(self.loop, f"homa.{port}.rx")
         self._pending: dict[int, Any] = {}  # request msg_id -> Event
+        # (peer_addr, msg_id) -> failed-decode count (corruption recovery).
+        self._corrupt_attempts: dict[tuple[int, int], int] = {}
         transport.bind(self, port)
         self._reader_blocked = False
 
@@ -95,8 +102,36 @@ class HomaSocket:
         self._arm_response_timer(msg_id, dest_addr, dest_port)
         yield from thread.work(cost)
         self.transport.kick(dest_addr, msg_id)
-        inbound, wire = yield event
-        decoded = codec.decode(inbound.msg_id, wire)
+        config = self.transport.config
+        attempts = 0
+        while True:
+            inbound, wire = yield event
+            try:
+                decoded = codec.decode(inbound.msg_id, wire)
+                break
+            except (AuthenticationError, ProtocolError):
+                # The response's reassembled bytes do not authenticate:
+                # wire corruption (checksum-free transport, paper §7).
+                if not config.corruption_recovery:
+                    raise
+                attempts += 1
+                yield from thread.work(self._failed_decode_cost(wire))
+                if attempts > config.max_corrupt_recoveries:
+                    raise SessionFailedError(
+                        f"response {msg_id | 1} failed authentication "
+                        f"{attempts} times; session fails closed"
+                    )
+                # Re-arm the wait before asking the server to resend, so
+                # the redelivery finds a pending event to succeed.
+                event = self.loop.event()
+                self._pending[msg_id] = event
+                self._arm_response_timer(msg_id, dest_addr, dest_port)
+                self.transport.recover_inbound(inbound)
+        ack_cost = 0.0
+        if config.corruption_recovery:
+            # Deferred lazy ACK: only bytes that authenticate may free the
+            # responder's retransmit state.
+            ack_cost = self.transport.confirm_response(inbound, self)
         yield from thread.work(
             self.costs.wakeup
             + self.costs.syscall
@@ -104,8 +139,16 @@ class HomaSocket:
             + self.costs.reassembly_copy_per_byte * len(wire)
             + self.costs.copy_cost(len(decoded.payload))
             + decoded.rx_cpu_cost
+            + ack_cost
         )
         return decoded.payload
+
+    def _failed_decode_cost(self, wire: bytes) -> float:
+        """CPU burned reassembling and decrypting bytes the tag rejected."""
+        return (
+            self.costs.reassembly_copy_per_byte * len(wire)
+            + self.costs.crypto_cost(len(wire))
+        )
 
     def _arm_response_timer(self, msg_id: int, dest_addr: int, dest_port: int) -> None:
         """RPC timeout: if the response never shows, RESEND it (Homa's
@@ -138,34 +181,65 @@ class HomaSocket:
                 return cost
 
             core.submit(self.costs.homa_grant_tx, retry)
-            self.loop.call_later(interval, check)
+            grown = interval * config.resend_backoff ** min(attempts[0], 16)
+            self.loop.call_later(
+                min(grown, max(interval, config.max_resend_interval)), check
+            )
 
         # First check after 2 intervals: give the RPC a full round trip.
         self.loop.call_later(2 * interval, check)
 
     def recv_request(self, thread: AppThread) -> Generator[Any, Any, InboundRpc]:
-        """Wait for the next inbound request (decrypt/copy on this thread)."""
-        item = self._rx_requests.try_get()
-        woke = False
-        if item is None:
-            self._reader_blocked = True
-            item = yield self._rx_requests.get()
-            self._reader_blocked = False
-            woke = True
-        inbound, wire = item
-        codec = self.codec_for(inbound.peer_addr, inbound.peer_port)
-        decoded = codec.decode(inbound.msg_id, wire)
-        cost = (
-            self.costs.syscall
-            + self.costs.homa_recv_extra
-            + self.costs.reassembly_copy_per_byte * len(wire)
-            + self.costs.copy_cost(len(decoded.payload))
-            + decoded.rx_cpu_cost
-        )
-        if woke:
-            cost += self.costs.wakeup
-        yield from thread.work(cost)
-        return InboundRpc(inbound.peer_addr, inbound.peer_port, inbound.msg_id, decoded.payload)
+        """Wait for the next inbound request (decrypt/copy on this thread).
+
+        With ``corruption_recovery`` enabled, a request whose reassembled
+        bytes fail authentication is silently re-requested from the sender
+        and the wait continues; after ``max_corrupt_recoveries`` failures
+        for one message the session fails closed with
+        :class:`SessionFailedError`.
+        """
+        while True:
+            item = self._rx_requests.try_get()
+            woke = False
+            if item is None:
+                self._reader_blocked = True
+                item = yield self._rx_requests.get()
+                self._reader_blocked = False
+                woke = True
+            inbound, wire = item
+            codec = self.codec_for(inbound.peer_addr, inbound.peer_port)
+            try:
+                decoded = codec.decode(inbound.msg_id, wire)
+            except (AuthenticationError, ProtocolError):
+                config = self.transport.config
+                if not config.corruption_recovery:
+                    raise
+                key = (inbound.peer_addr, inbound.msg_id)
+                attempts = self._corrupt_attempts.get(key, 0) + 1
+                self._corrupt_attempts[key] = attempts
+                yield from thread.work(self._failed_decode_cost(wire))
+                if attempts > config.max_corrupt_recoveries:
+                    self._corrupt_attempts.pop(key, None)
+                    raise SessionFailedError(
+                        f"request {inbound.msg_id} failed authentication "
+                        f"{attempts} times; session fails closed"
+                    )
+                self.transport.recover_inbound(inbound)
+                continue
+            self._corrupt_attempts.pop((inbound.peer_addr, inbound.msg_id), None)
+            cost = (
+                self.costs.syscall
+                + self.costs.homa_recv_extra
+                + self.costs.reassembly_copy_per_byte * len(wire)
+                + self.costs.copy_cost(len(decoded.payload))
+                + decoded.rx_cpu_cost
+            )
+            if woke:
+                cost += self.costs.wakeup
+            yield from thread.work(cost)
+            return InboundRpc(
+                inbound.peer_addr, inbound.peer_port, inbound.msg_id, decoded.payload
+            )
 
     def reply(
         self, thread: AppThread, rpc: InboundRpc, payload: bytes

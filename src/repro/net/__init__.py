@@ -12,6 +12,7 @@ from repro.net.headers import IPv4Header, TransportHeader, PacketType, PROTO_TCP
 from repro.net.packet import Packet
 from repro.net.link import Link
 from repro.net.switch import Switch
+from repro.net.faults import FaultConfig, FaultInjector, schedule_from_seed
 
 __all__ = [
     "FlowTuple",
@@ -25,4 +26,7 @@ __all__ = [
     "Packet",
     "Link",
     "Switch",
+    "FaultConfig",
+    "FaultInjector",
+    "schedule_from_seed",
 ]

@@ -46,6 +46,14 @@ class FabricPort:
     def set_loss_fn(self, side: str, loss_fn: Optional[LossFn]) -> None:
         self._egress.loss_fn = loss_fn
 
+    def inject_faults(self, side: str, injector) -> None:
+        """Adversarial conditions on this host's uplink (host -> switch).
+
+        Faults toward the host (switch -> host) install on the switch side
+        via :meth:`repro.net.switch.Switch.inject_faults`.
+        """
+        self._egress.fault_injector = injector
+
     def stats(self, side: str) -> dict:
         return {
             "tx_packets": self._egress.tx_packets,

@@ -6,18 +6,23 @@ bandwidth, draining 8 strict-priority egress queues (Homa's network
 priorities; priority 7 is highest, matching typical DSCP mappings).
 
 ``loss_fn`` lets tests inject deterministic loss: it sees every packet
-and returns True to drop it.
+and returns True to drop it.  For richer adversarial conditions (reorder,
+duplication, corruption, burst loss, flaps) attach a seeded
+:class:`repro.net.faults.FaultInjector` with :meth:`Link.inject_faults`.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.errors import SimulationError
 from repro.net.packet import Packet
 from repro.sim.event_loop import EventLoop
 from repro.units import GBPS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.faults import FaultInjector
 
 NUM_PRIORITIES = 8
 
@@ -36,6 +41,7 @@ class _Direction:
         self.busy = False
         self.receiver: Optional[Receiver] = None
         self.loss_fn: Optional[LossFn] = None
+        self.fault_injector: Optional["FaultInjector"] = None
         self.tx_packets = 0
         self.tx_bytes = 0
         self.dropped = 0
@@ -71,7 +77,13 @@ class _Direction:
         else:
             receiver = self.receiver
             if receiver is not None:
-                self.loop.call_later(self.delay, lambda: receiver(packet))
+                injector = self.fault_injector
+                if injector is not None:
+                    self.loop.call_later(
+                        self.delay, lambda: injector.process(packet, receiver)
+                    )
+                else:
+                    self.loop.call_later(self.delay, lambda: receiver(packet))
         self._start_next()
 
     def queued_bytes(self) -> int:
@@ -116,6 +128,23 @@ class Link:
         """Drop packets transmitted *from* ``side`` when loss_fn returns True."""
         direction = self._a_to_b if side == "a" else self._b_to_a
         direction.loss_fn = loss_fn
+
+    def inject_faults(self, side: str, injector: Optional["FaultInjector"]) -> None:
+        """Adversarial conditions for packets transmitted *from* ``side``.
+
+        The injector sees every packet that survived serialisation and the
+        legacy ``loss_fn``, after the propagation delay; it may drop,
+        corrupt, duplicate, or re-time delivery (``None`` uninstalls).
+        """
+        direction = self._a_to_b if side == "a" else self._b_to_a
+        direction.fault_injector = injector
+
+    def fault_stats(self, side: str) -> dict:
+        """The installed injector's counters for ``side`` (empty if none)."""
+        direction = self._a_to_b if side == "a" else self._b_to_a
+        if direction.fault_injector is None:
+            return {}
+        return direction.fault_injector.stats()
 
     def stats(self, side: str) -> dict:
         direction = self._a_to_b if side == "a" else self._b_to_a

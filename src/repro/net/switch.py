@@ -11,13 +11,16 @@ metadata stays in plaintext).
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.errors import SimulationError
 from repro.net.link import NUM_PRIORITIES
 from repro.net.packet import Packet
 from repro.sim.event_loop import EventLoop
 from repro.units import GBPS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.faults import FaultInjector
 
 Receiver = Callable[[Packet], None]
 
@@ -32,6 +35,7 @@ class _Port:
         self.queued = 0
         self.busy = False
         self.receiver: Optional[Receiver] = None
+        self.fault_injector: Optional["FaultInjector"] = None
         self.dropped = 0
         self.trimmed = 0
 
@@ -106,10 +110,24 @@ class Switch:
         port.queued -= packet.wire_size
         tx_time = (packet.wire_size * 8) / port.bandwidth
         def finish(pkt: Packet = packet) -> None:
-            if port.receiver is not None:
-                self.loop.call_later(port.delay, lambda: port.receiver(pkt))
+            receiver = port.receiver
+            if receiver is not None:
+                injector = port.fault_injector
+                if injector is not None:
+                    self.loop.call_later(
+                        port.delay, lambda: injector.process(pkt, receiver)
+                    )
+                else:
+                    self.loop.call_later(port.delay, lambda: receiver(pkt))
             self._start_next(port)
         self.loop.call_later(tx_time, finish)
+
+    def inject_faults(self, addr: int, injector: Optional["FaultInjector"]) -> None:
+        """Adversarial conditions on the egress port toward host ``addr``."""
+        port = self._ports.get(addr)
+        if port is None:
+            raise SimulationError(f"no port for address {addr}")
+        port.fault_injector = injector
 
     def stats(self, addr: int) -> dict:
         port = self._ports[addr]

@@ -8,7 +8,7 @@ come from this virtual clock, never from wall time.
 
 from repro.sim.event_loop import Event, EventLoop, Process, Interrupt
 from repro.sim.resources import Resource, Store
-from repro.sim.trace import Counter, Histogram, RateMeter
+from repro.sim.trace import Counter, CounterSet, Histogram, RateMeter
 
 __all__ = [
     "Event",
@@ -18,6 +18,7 @@ __all__ = [
     "Resource",
     "Store",
     "Counter",
+    "CounterSet",
     "Histogram",
     "RateMeter",
 ]

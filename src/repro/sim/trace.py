@@ -24,6 +24,39 @@ class Counter:
         return f"Counter({self.name}={self.value})"
 
 
+class CounterSet:
+    """A fixed, named group of counters addressed as attributes.
+
+    Subsystems with many related counters (the fault injector's per-fault
+    tallies) expose one of these; ``as_dict()`` gives a stable-ordered
+    snapshot tests can compare wholesale -- the basis of the
+    same-seed-same-counters determinism assertions.
+    """
+
+    def __init__(self, names: Iterable[str], prefix: str = ""):
+        self._names = tuple(names)
+        if len(set(self._names)) != len(self._names):
+            raise ValueError(f"duplicate counter names in {self._names}")
+        for name in self._names:
+            setattr(self, name, Counter(prefix + name))
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._names:
+            raise KeyError(name)
+        return getattr(self, name)
+
+    def as_dict(self) -> dict:
+        """Snapshot ``{name: value}`` in declaration order."""
+        return {name: getattr(self, name).value for name in self._names}
+
+    def total(self) -> int:
+        return sum(getattr(self, name).value for name in self._names)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"CounterSet({inner})"
+
+
 class Histogram:
     """Collects samples and reports mean/percentiles.
 

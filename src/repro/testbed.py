@@ -15,6 +15,7 @@ from typing import Optional
 from repro.host.costs import CostModel
 from repro.host.host import Host
 from repro.net.addressing import make_addr
+from repro.net.faults import FaultConfig, FaultInjector
 from repro.net.link import Link
 from repro.nic.device import Nic
 from repro.nic.tso import TsoMode
@@ -33,6 +34,10 @@ class Testbed:
     client: Host
     server: Host
     rng: random.Random = field(default_factory=lambda: random.Random(0))
+    # Installed by :meth:`adversarial` (or `install_faults`); None on a
+    # clean testbed.
+    faults_c2s: Optional[FaultInjector] = None
+    faults_s2c: Optional[FaultInjector] = None
 
     @staticmethod
     def back_to_back(
@@ -65,6 +70,45 @@ class Testbed:
             Nic(loop, link, "b", costs, num_queues=num_nic_queues, tso_mode=tso_mode)
         )
         return Testbed(loop, link, client, server, random.Random(seed))
+
+    @staticmethod
+    def adversarial(
+        faults: FaultConfig,
+        fault_seed: int = 0,
+        **kwargs,
+    ) -> "Testbed":
+        """A back-to-back testbed whose link misbehaves per ``faults``.
+
+        Both directions get independent :class:`FaultInjector` streams
+        (seeds ``fault_seed`` and ``fault_seed + 1``) so client->server and
+        server->client fates decorrelate while the whole run stays
+        replayable from ``fault_seed`` alone.
+        """
+        bed = Testbed.back_to_back(**kwargs)
+        bed.install_faults(faults, fault_seed)
+        return bed
+
+    def install_faults(self, faults: FaultConfig, fault_seed: int = 0) -> None:
+        """Attach seeded fault injectors to both link directions.
+
+        May be called mid-simulation -- e.g. after a clean handshake -- to
+        turn the weather bad at a chosen virtual time.
+        """
+        self.faults_c2s = FaultInjector(self.loop, faults, seed=fault_seed, name="c2s")
+        self.faults_s2c = FaultInjector(
+            self.loop, faults, seed=fault_seed + 1, name="s2c"
+        )
+        self.link.inject_faults("a", self.faults_c2s)
+        self.link.inject_faults("b", self.faults_s2c)
+
+    def fault_stats(self) -> dict:
+        """Combined per-direction fault counters (empty when clean)."""
+        stats = {}
+        if self.faults_c2s is not None:
+            stats["c2s"] = self.faults_c2s.stats()
+        if self.faults_s2c is not None:
+            stats["s2c"] = self.faults_s2c.stats()
+        return stats
 
     def run(self, until: Optional[float] = None) -> float:
         return self.loop.run(until=until)

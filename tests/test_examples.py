@@ -40,6 +40,11 @@ class TestExamples:
         assert out.count("CORRUPTED") == 3  # Out-seq + the two shared-queue records
         assert out.count("decrypted OK") == 5
 
+    def test_adversarial_network(self, capsys):
+        out = run_example("adversarial_network.py", capsys)
+        assert "messages delivered bit-exact: 100/100" in out
+        assert "OK:" in out
+
     def test_incast_trimming(self, capsys):
         out = run_example("incast_trimming.py", capsys)
         assert "trimming ON" in out and "trimming OFF" in out
