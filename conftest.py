@@ -8,7 +8,24 @@ installed (``python setup.py develop`` is the supported install there).
 import os
 import sys
 
+import pytest
+
 try:
     import repro  # noqa: F401
 except ModuleNotFoundError:
     sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite golden trace files instead of comparing against them",
+    )
+
+
+@pytest.fixture
+def update_goldens(request):
+    """True when the run should regenerate golden files."""
+    return request.config.getoption("--update-goldens")

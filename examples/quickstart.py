@@ -20,9 +20,17 @@ from repro.tls.handshake import HandshakeConfig, ServerCredentials
 SERVER_PORT = 7000
 
 
-def main() -> None:
+def run_quickstart(observe: bool = False, verbose: bool = True) -> Testbed:
+    """The quickstart scenario; returns the testbed after the run.
+
+    ``observe=True`` switches on the observability layer first, so the
+    handshake, codec and transport spans plus the packet capture cover
+    the whole exchange -- the golden-trace tests drive it this way.
+    """
     # --- the datacenter: two machines, one 100 Gb/s link ------------------
     bed = Testbed.back_to_back()
+    if observe:
+        bed.enable_obs()
 
     # --- a PKI: the datacenter's internal CA ------------------------------
     rng = random.Random(7)
@@ -89,14 +97,21 @@ def main() -> None:
     assert done.triggered and done.ok, getattr(done, "value", "deadlock")
 
     wire = b"".join(sniffed)
-    print(f"handshake completed in {results['handshake_us']:.0f} us (virtual)")
-    print(f"encrypted RPC round trip: {results['rtt_us']:.1f} us (virtual)")
-    print(f"server replied: {results['reply'].decode()}")
-    print(f"plaintext visible on the wire: {b'TOP-SECRET' in wire}")
-    print(f"NIC-encrypted records: {bed.client.nic.records_offloaded}")
+    if verbose:
+        print(f"handshake completed in {results['handshake_us']:.0f} us (virtual)")
+        print(f"encrypted RPC round trip: {results['rtt_us']:.1f} us (virtual)")
+        print(f"server replied: {results['reply'].decode()}")
+        print(f"plaintext visible on the wire: {b'TOP-SECRET' in wire}")
+        print(f"NIC-encrypted records: {bed.client.nic.records_offloaded}")
     assert b"TOP-SECRET" not in wire, "payload leaked!"
     assert results["reply"] == b"echo: TOP-SECRET payload"
-    print("OK: encrypted message transport over the simulated datacenter.")
+    if verbose:
+        print("OK: encrypted message transport over the simulated datacenter.")
+    return bed
+
+
+def main() -> None:
+    run_quickstart()
 
 
 if __name__ == "__main__":

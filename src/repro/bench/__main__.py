@@ -13,6 +13,8 @@ the exit code is non-zero if any check lands outside its band.
 from __future__ import annotations
 
 import argparse
+import json
+import pathlib
 import sys
 import time
 
@@ -57,6 +59,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("experiments", nargs="*",
                         help="experiment names (default: all)")
     parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument("--no-json", action="store_true",
+                        help="skip writing BENCH_<name>.json report files")
+    parser.add_argument("--json-dir", default=".", metavar="DIR",
+                        help="directory for BENCH_<name>.json (default: cwd)")
     args = parser.parse_args(argv)
     if args.list:
         for name in EXPERIMENTS:
@@ -72,6 +78,9 @@ def main(argv: list[str] | None = None) -> int:
         report = EXPERIMENTS[name]()
         print(report.render())
         print(f"({name}: {time.time() - start:.1f}s wall)\n")
+        if not args.no_json:
+            out = pathlib.Path(args.json_dir) / f"BENCH_{name}.json"
+            out.write_text(json.dumps(report.to_json(), indent=1) + "\n")
         misses += len(report.misses)
     if misses:
         print(f"{misses} band check(s) out of range", file=sys.stderr)

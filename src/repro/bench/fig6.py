@@ -20,7 +20,15 @@ def run(sizes=SIZES, repetitions: int = 25) -> ExperimentReport:
     rtt: dict[tuple[str, int], float] = {}
     for system in SYSTEMS:
         for size in sizes:
-            rtt[(system, size)] = unloaded_rtt(system, size, repetitions).mean_us
+            # Observe the full SMT stack (codec + NIC offload + transport)
+            # so the JSON report carries a per-layer span/metrics
+            # breakdown; observation is passive, so the measured RTTs are
+            # identical either way.
+            observe = system == "smt-hw"
+            result = unloaded_rtt(system, size, repetitions, observe=observe)
+            rtt[(system, size)] = result.mean_us
+            if result.obs is not None:
+                report.obs[f"{system}/{size}B"] = result.obs
     report.add_table(
         ["system"] + [f"{s}B" for s in sizes],
         [[system] + [round(rtt[(system, s)], 1) for s in sizes] for system in SYSTEMS],

@@ -59,6 +59,10 @@ class ExperimentReport:
     title: str
     checks: list[BandCheck] = field(default_factory=list)
     tables: list[str] = field(default_factory=list)
+    # Observability snapshots keyed by a run label (e.g. "smt-hw/8192B");
+    # populated by benchmarks that drive observed runs, serialised by
+    # :meth:`to_json` so the JSON report carries per-layer breakdowns.
+    obs: dict = field(default_factory=dict)
 
     def check(self, name: str, measured: float, lo: float, hi: float,
               slack: float = 0.0, unit: str = "") -> BandCheck:
@@ -76,6 +80,26 @@ class ExperimentReport:
             parts.append("paper-band checks:")
             parts.extend("  " + c.describe() for c in self.checks)
         return "\n".join(parts)
+
+    def to_json(self) -> dict:
+        """JSON-serialisable report: tables, band checks, obs snapshots."""
+        return {
+            "title": self.title,
+            "tables": list(self.tables),
+            "checks": [
+                {
+                    "name": c.name,
+                    "measured": c.measured,
+                    "lo": c.lo,
+                    "hi": c.hi,
+                    "slack": c.slack,
+                    "unit": c.unit,
+                    "ok": c.ok,
+                }
+                for c in self.checks
+            ],
+            "obs": self.obs,
+        }
 
     @property
     def misses(self) -> list[BandCheck]:

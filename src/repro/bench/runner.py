@@ -94,6 +94,9 @@ def _message_harness(bed: Testbed, system: str, config: Optional[HomaConfig]) ->
                        offload=offload, nic=bed.server.nic if offload else None),
             costs, bed.server.nic.num_queues, packets_per_segment=pps,
         )
+        if bed.obs is not None:
+            client_codec.bind_obs(bed.obs, "client.smt")
+            server_codec.bind_obs(bed.obs, "server.smt")
         csock = HomaSocket(ct, bed.client.alloc_port(),
                            codec_provider=lambda a, p: client_codec)
         ssock = HomaSocket(st, SERVER_PORT,
@@ -202,11 +205,19 @@ def build_rpc_harness(
     config: Optional[HomaConfig] = None,
     num_connections: int = 12,
     seed: int = 0,
+    observe: bool = False,
 ) -> RpcHarness:
-    """A fresh testbed plus a complete RPC stack for ``system``."""
+    """A fresh testbed plus a complete RPC stack for ``system``.
+
+    ``observe=True`` enables the observability layer before the stack is
+    wired, so spans, metrics and the packet capture cover the whole run;
+    observation is passive and does not perturb measured results.
+    """
     if system not in SYSTEMS:
         raise ValueError(f"unknown system {system!r}; pick from {SYSTEMS}")
     bed = Testbed.back_to_back(mtu=mtu, tso_mode=tso_mode, seed=seed)
+    if observe:
+        bed.enable_obs()
     if system in MESSAGE_SYSTEMS:
         return _message_harness(bed, system, config)
     return _stream_harness(bed, system, num_connections)
@@ -222,6 +233,9 @@ class RttResult:
     mean: float
     p99: float
     samples: int
+    # Observability snapshot (metrics + per-layer span summary) when the
+    # run was observed; None otherwise.
+    obs: Optional[dict] = None
 
     @property
     def mean_us(self) -> float:
@@ -235,9 +249,10 @@ def unloaded_rtt(
     mtu: int = 1500,
     tso_mode: TsoMode = TsoMode.FULL,
     warmup: int = 5,
+    observe: bool = False,
 ) -> RttResult:
     """§5.1: RTT of a single RPC with no concurrency."""
-    harness = build_rpc_harness(system, mtu=mtu, tso_mode=tso_mode)
+    harness = build_rpc_harness(system, mtu=mtu, tso_mode=tso_mode, observe=observe)
     bed = harness.bed
     latencies = Histogram()
     call = harness.call_factory(0)
@@ -256,7 +271,10 @@ def unloaded_rtt(
         raise AssertionError(f"{system}/{size}: unloaded RTT run deadlocked")
     if not done.ok:
         raise done.value
-    return RttResult(system, size, latencies.mean(), latencies.p99(), len(latencies))
+    return RttResult(
+        system, size, latencies.mean(), latencies.p99(), len(latencies),
+        obs=bed.obs.snapshot() if bed.obs is not None else None,
+    )
 
 
 @dataclass

@@ -60,6 +60,16 @@ class SmtCodec:
         self.records_sealed = 0
         self.records_opened = 0
         self.auth_failures = 0
+        # Optional observability binding (no loop reference here, so the
+        # endpoint or harness binds explicitly with a host-scoped name).
+        self.obs = None
+        self.obs_name = "smt"
+
+    def bind_obs(self, obs, name: str = "smt") -> None:
+        """Record codec spans/counters under ``name`` on ``obs``."""
+        self.obs = obs
+        self.obs_name = name
+        self.session.bind_obs(obs, name)
 
     # -- MessageCodec interface -----------------------------------------------
 
@@ -93,6 +103,19 @@ class SmtCodec:
         return payload[4 : 4 + true_len]
 
     def encode(self, msg_id: int, payload: bytes, mss: int) -> EncodedMessage:
+        obs = self.obs
+        if obs is None:
+            return self._encode(msg_id, payload, mss)
+        with obs.tracer.trace_span(
+            "smt.codec", f"{self.obs_name}.encode", msg_id=msg_id, bytes=len(payload)
+        ) as span:
+            encoded = self._encode(msg_id, payload, mss)
+            span.attrs["cpu"] = encoded.tx_cpu_cost
+            span.attrs["segments"] = len(encoded.plans)
+            obs.metrics.counter(f"{self.obs_name}.codec.messages_encoded").add()
+        return encoded
+
+    def _encode(self, msg_id: int, payload: bytes, mss: int) -> EncodedMessage:
         payload = self._pad(payload)
         frame = plan_message(
             len(payload), mss, self.max_record_payload, self.packets_per_segment
@@ -154,6 +177,23 @@ class SmtCodec:
 
     def decode(self, msg_id: int, wire: bytes) -> DecodedMessage:
         """Decrypt and authenticate all records of a reassembled message."""
+        obs = self.obs
+        if obs is None:
+            return self._decode(msg_id, wire)
+        with obs.tracer.trace_span(
+            "smt.codec", f"{self.obs_name}.decode", msg_id=msg_id, bytes=len(wire)
+        ) as span:
+            try:
+                decoded = self._decode(msg_id, wire)
+            except Exception:
+                span.attrs["auth_failure"] = True
+                obs.metrics.counter(f"{self.obs_name}.codec.auth_failures").add()
+                raise
+            span.attrs["cpu"] = decoded.rx_cpu_cost
+            obs.metrics.counter(f"{self.obs_name}.codec.messages_decoded").add()
+        return decoded
+
+    def _decode(self, msg_id: int, wire: bytes) -> DecodedMessage:
         alloc = self.session.allocation
         out: list[bytes] = []
         cpu = self.costs.smt_session_lookup

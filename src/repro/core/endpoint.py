@@ -120,11 +120,17 @@ class SmtEndpoint:
     ) -> None:
         """The paper's setsockopt: install negotiated keys for a peer."""
         self._sessions[(peer_addr, peer_port)] = session
-        self._codecs[(peer_addr, peer_port)] = SmtCodec(
+        codec = SmtCodec(
             session,
             self.host.costs,
             num_nic_queues=self.host.nic.num_queues,
         )
+        obs = self.loop.obs
+        if obs is not None:
+            # Name by host + peer address (not ports: the codec/session are
+            # per-peer here, and id()-based keys must never leak).
+            codec.bind_obs(obs, f"{self.host.name}.smt.peer{peer_addr}")
+        self._codecs[(peer_addr, peer_port)] = codec
 
     def _build_session(self, result, role: str) -> SmtSession:
         client_keys, server_keys = result.traffic_keys()
@@ -164,6 +170,9 @@ class SmtEndpoint:
                 hs_key = (rpc.peer_addr, peer_data_port)
                 if kind == _MSG_CHLO:
                     server_hs = ServerHandshake(hs_config_factory(), credentials, cache)
+                    obs = self.loop.obs
+                    if obs is not None:
+                        server_hs.bind_obs(obs, f"{self.host.name}.tls")
                     flight = server_hs.process_client_hello(body)
                     yield from thread.work(self.cost_model.total(server_hs.trace))
                     self._pending_server_hs[hs_key] = (server_hs, len(server_hs.trace))
@@ -200,7 +209,14 @@ class SmtEndpoint:
     ) -> Generator[Any, Any, HandshakeStats]:
         """Establish a session with a listening server endpoint."""
         started = self.loop.now
+        obs = self.loop.obs
+        hs_span = None
         client_hs = ClientHandshake(hs_config, client_credentials)
+        if obs is not None:
+            hs_span = obs.tracer.begin(
+                "tls.handshake", f"{self.host.name}.connect", peer=server_addr
+            )
+            client_hs.bind_obs(obs, f"{self.host.name}.tls", parent=hs_span)
         chlo = client_hs.start()
         yield from thread.work(self.cost_model.total(client_hs.trace))
         charged = len(client_hs.trace)
@@ -223,6 +239,10 @@ class SmtEndpoint:
                 tickets.extend(client_hs.process_tickets(blob))
         if tickets:
             self.tickets[(server_addr, server_data_port)] = tickets
+        if hs_span is not None:
+            obs.tracer.end(
+                hs_span, setup_latency=keys_ready - started, tickets=len(tickets)
+            )
         return HandshakeStats(started, keys_ready, self.loop.now)
 
 

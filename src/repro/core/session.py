@@ -60,8 +60,26 @@ class SmtSession:
         self._queue_expected: dict[int, Optional[int]] = {}
         self.resyncs_issued = 0
         self.rekeys = 0
+        self.obs = None
+        self.obs_name = name
         if offload and nic is None:
             raise ProtocolError("offload sessions need the NIC reference")
+
+    def bind_obs(self, obs, name: Optional[str] = None) -> None:
+        """Expose this session's security counters as registry gauges.
+
+        Names never include :meth:`context_key` material -- context keys
+        are ``id()``-based and must not leak into deterministic output.
+        """
+        self.obs = obs
+        prefix = f"{name or self.obs_name}.session"
+        self.obs_name = name or self.obs_name
+        m = obs.metrics
+        m.gauge(f"{prefix}.replays_rejected", lambda: self.replays_rejected)
+        m.gauge(f"{prefix}.messages_forgiven", lambda: self.messages_forgiven)
+        m.gauge(f"{prefix}.resyncs_issued", lambda: self.resyncs_issued)
+        m.gauge(f"{prefix}.rekeys", lambda: self.rekeys)
+        m.gauge(f"{prefix}.ids_tracked", lambda: len(self._seen_ids))
 
     # -- key management --------------------------------------------------------
 
@@ -84,6 +102,11 @@ class SmtSession:
         self._max_seen = -1
         self._queue_expected.clear()
         self.rekeys += 1
+        if self.obs is not None:
+            with self.obs.tracer.trace_span(
+                "smt.session", f"{self.obs_name}.rekey", rekeys=self.rekeys
+            ):
+                pass
 
     # -- replay defence ------------------------------------------------------------
 

@@ -102,6 +102,18 @@ class HomaTransport:
         self._outbound[key] = msg
         self._encoded[key] = encoded
         self.messages_sent += 1
+        obs = self.loop.obs
+        if obs is not None:
+            obs.metrics.counter(f"{self.host.name}.homa.tx.messages").add()
+            # Explicit begin/end: the span closes when the message is
+            # acked (implicitly or explicitly) or its sender state times
+            # out, arbitrarily many events later.
+            msg.obs_span = obs.tracer.begin(
+                "homa.tx",
+                f"{self.host.name}.msg{msg_id}",
+                peer=dest_addr,
+                bytes=encoded.wire_len,
+            )
         cost = self.costs.homa_tx_per_message + encoded.tx_cpu_cost
         cost += self._granted_cost(msg, encoded)
         self._arm_sender_timeout(msg)
@@ -225,14 +237,25 @@ class HomaTransport:
                 # Receiver never acked: free state (it will RESEND if alive).
                 del self._outbound[key]
                 self._encoded.pop(key, None)
+                self._end_tx_span(msg, "timeout")
 
         self.loop.call_later(self.config.sender_timeout, check)
+
+    def _end_tx_span(self, msg: OutboundMessage, outcome: str) -> None:
+        span = getattr(msg, "obs_span", None)
+        if span is not None:
+            self.loop.obs.tracer.end(span, outcome=outcome)
 
     # -- receive path --------------------------------------------------------------------
 
     def classify(self, packet: Packet):
         t = packet.transport
         c = self.costs
+        obs = self.loop.obs
+        if obs is not None:
+            m = obs.metrics
+            m.counter(f"{self.host.name}.homa.rx.packets").add()
+            m.counter(f"{self.host.name}.homa.rx.{t.pkt_type.name.lower()}").add()
         if t.pkt_type == PacketType.DATA:
             # Softirq only queues packet buffers; the gather/copy into the
             # user message happens at recvmsg on the app thread (the paper's
@@ -274,8 +297,13 @@ class HomaTransport:
             # First packet of an unseen message: replay filter (paper §6.1:
             # replayed IDs are dropped without decryption).
             extra += self.costs.homa_rx_per_message + self.costs.smt_replay_check
+            obs = self.loop.obs
             if not codec.accept_message(t.msg_id):
                 self.replays_dropped += 1
+                if obs is not None:
+                    obs.metrics.counter(
+                        f"{self.host.name}.homa.rx.replays_dropped"
+                    ).add()
                 return extra
             inbound = InboundMessage(
                 msg_id=t.msg_id,
@@ -289,6 +317,14 @@ class HomaTransport:
                 last_progress=self.loop.now,
             )
             self._inbound[key] = inbound
+            if obs is not None:
+                # Closed in _deliver, after reassembly completes.
+                inbound.obs_span = obs.tracer.begin(
+                    "homa.rx",
+                    f"{self.host.name}.msg{t.msg_id}",
+                    peer=packet.ip.src_addr,
+                    bytes=t.msg_len,
+                )
             if not inbound.complete:
                 self._arm_resend_timer(key, inbound)
         if not packet.payload and t.msg_len:
@@ -342,6 +378,12 @@ class HomaTransport:
         if len(self._delivered) > 100_000:
             self._delivered.clear()  # bounded memory; late dupes hit codec filter
         self.messages_delivered += 1
+        obs = self.loop.obs
+        if obs is not None:
+            obs.metrics.counter(f"{self.host.name}.homa.rx.messages").add()
+            span = getattr(inbound, "obs_span", None)
+            if span is not None:
+                obs.tracer.end(span, resends=inbound.resends)
         cost = self.costs.homa_deliver_fixed + self.costs.homa_wake
         if inbound.msg_id & 1:
             # A response implicitly acknowledges its request (Homa's RPC
@@ -352,6 +394,7 @@ class HomaTransport:
             if freed is not None:
                 freed.acked = True
                 self._encoded.pop(request_key, None)
+                self._end_tx_span(freed, "implicit_ack")
             # Under corruption recovery the ACK must wait until the bytes
             # actually authenticate (it frees the responder's retransmit
             # state); the socket calls confirm_response() after decode.
@@ -532,10 +575,15 @@ class HomaTransport:
         queue = encoded.nic_queue if encoded.nic_queue is not None else (
             (msg.msg_id >> 1) % self.host.nic.num_queues
         )
+        obs = self.loop.obs
         cost = 0.0
         for off in range(0, len(wire), mss):
             chunk = wire[off : off + mss]
             self.packets_retransmitted += 1
+            if obs is not None:
+                obs.metrics.counter(
+                    f"{self.host.name}.homa.tx.packets_retransmitted"
+                ).add()
             header = TransportHeader(
                 src_port=msg.src_port,
                 dst_port=msg.dest_port,
@@ -602,6 +650,9 @@ class HomaTransport:
                 forgive(inbound.msg_id)
         self.corrupt_recoveries += 1
         self.resend_requests += 1
+        obs = self.loop.obs
+        if obs is not None:
+            obs.metrics.counter(f"{self.host.name}.homa.rx.corrupt_recoveries").add()
         # Whole-message RESEND (msg_len == 0): any packet of the original
         # delivery may have carried the flipped bits.
         self._send_control(
@@ -666,4 +717,5 @@ class HomaTransport:
             if msg is not None:
                 msg.acked = True
                 self._encoded.pop(key, None)
+                self._end_tx_span(msg, "acked")
         return None

@@ -76,6 +76,12 @@ class SoftirqCore:
                 ):
                     batch.append(self.queue.try_get())
             cost = batch[0].cost + sum(w.merge_cost for w in batch[1:])
+            obs = self.loop.obs
+            span = None
+            if obs is not None:
+                # Explicit begin/end (not the context manager): the span
+                # covers yields, so stack-based parenting cannot apply.
+                span = obs.tracer.begin("host.softirq", self.name, items=len(batch))
             if cost > 0:
                 yield self.loop.timeout(cost)
                 self.busy_time += cost
@@ -91,6 +97,8 @@ class SoftirqCore:
                 self.busy_time += extra_total
             self.items_processed += len(batch)
             self.batches += 1
+            if span is not None:
+                obs.tracer.end(span, cpu=cost + extra_total)
 
     def utilization(self, elapsed: float) -> float:
         return self.busy_time / elapsed if elapsed > 0 else 0.0
@@ -113,7 +121,13 @@ class AppThread:
     def work(self, cost: float) -> Generator[Event, Any, None]:
         """Charge ``cost`` seconds of CPU on this thread's core."""
         if cost > 0:
+            obs = self.loop.obs
+            span = None
+            if obs is not None:
+                span = obs.tracer.begin("host.app", self.name, cpu=cost)
             yield from self.core.service(cost)
+            if span is not None:
+                obs.tracer.end(span)
 
     def start(self, body: Generator[Event, Any, Any]):
         """Launch the thread body as a process; returns its completion event."""

@@ -158,8 +158,13 @@ class FaultInjector:
 
     # -- the fault pipeline ---------------------------------------------------
 
-    def process(self, packet: Packet, deliver: Receiver) -> None:
-        """Decide this packet's fate and (maybe) hand it to ``deliver``."""
+    def process(self, packet: Packet, deliver: Receiver) -> str:
+        """Decide this packet's fate and (maybe) hand it to ``deliver``.
+
+        Returns a verdict string for capture taps: one of the drop kinds
+        ("flap_dropped", "burst_dropped", "dropped") or "delivered" with
+        "+corrupt"/"+dup"/"+reorder" markers for the faults applied.
+        """
         cfg = self.config
         counters = self.counters
         counters.seen.add()
@@ -169,7 +174,7 @@ class FaultInjector:
             phase = self.loop.now % cfg.flap_period
             if phase >= cfg.flap_period - cfg.flap_down:
                 counters.flap_dropped.add()
-                return
+                return "flap_dropped"
         rng = self.rng
         # Gilbert-Elliott burst loss, advanced once per packet while armed.
         if cfg.burst_enter:
@@ -180,26 +185,31 @@ class FaultInjector:
                 self._burst_bad = True
             if self._burst_bad and rng.random() < cfg.burst_loss_rate:
                 counters.burst_dropped.add()
-                return
+                return "burst_dropped"
         if cfg.drop_rate and rng.random() < cfg.drop_rate:
             counters.dropped.add()
-            return
+            return "dropped"
+        marks = []
         if cfg.corrupt_rate and packet.payload and rng.random() < cfg.corrupt_rate:
             packet = self._corrupt(packet)
             counters.corrupted.add()
+            marks.append("corrupt")
         if cfg.duplicate_rate and rng.random() < cfg.duplicate_rate:
             counters.duplicated.add()
+            marks.append("dup")
             copy = packet
             delay = rng.random() * cfg.duplicate_delay
             self.loop.call_later(delay, lambda: deliver(copy))
         if cfg.reorder_rate and rng.random() < cfg.reorder_rate:
             counters.reordered.add()
+            marks.append("reorder")
             held = packet
             delay = rng.random() * cfg.reorder_delay
             self.loop.call_later(delay, lambda: deliver(held))
         else:
             deliver(packet)
         counters.delivered.add()
+        return "delivered" + "".join(f"+{m}" for m in marks)
 
     def _corrupt(self, packet: Packet) -> Packet:
         """Flip one payload byte (never to its original value)."""

@@ -28,6 +28,8 @@ NUM_PRIORITIES = 8
 
 Receiver = Callable[[Packet], None]
 LossFn = Callable[[Packet], bool]
+#: Capture tap: called with (packet, verdict) at delivery time.
+Tap = Callable[[Packet, str], None]
 
 
 class _Direction:
@@ -42,6 +44,9 @@ class _Direction:
         self.receiver: Optional[Receiver] = None
         self.loss_fn: Optional[LossFn] = None
         self.fault_injector: Optional["FaultInjector"] = None
+        # Passive capture tap: a ``(packet, verdict)`` callback invoked at
+        # delivery time (after the injector, if any, decided the fate).
+        self.tap: Optional[Tap] = None
         self.tx_packets = 0
         self.tx_bytes = 0
         self.dropped = 0
@@ -74,17 +79,28 @@ class _Direction:
         self.tx_bytes += packet.wire_size
         if self.loss_fn is not None and self.loss_fn(packet):
             self.dropped += 1
+            if self.tap is not None:
+                self.tap(packet, "loss_fn_dropped")
         else:
             receiver = self.receiver
             if receiver is not None:
-                injector = self.fault_injector
-                if injector is not None:
-                    self.loop.call_later(
-                        self.delay, lambda: injector.process(packet, receiver)
-                    )
+                if self.fault_injector is not None or self.tap is not None:
+                    self.loop.call_later(self.delay, lambda: self._deliver(packet))
                 else:
                     self.loop.call_later(self.delay, lambda: receiver(packet))
         self._start_next()
+
+    def _deliver(self, packet: Packet) -> None:
+        """Post-propagation delivery through the injector and/or tap."""
+        receiver = self.receiver
+        injector = self.fault_injector
+        if injector is not None:
+            verdict = injector.process(packet, receiver)
+        else:
+            verdict = "delivered"
+            receiver(packet)
+        if self.tap is not None:
+            self.tap(packet, verdict)
 
     def queued_bytes(self) -> int:
         return sum(p.wire_size for q in self.queues for p in q)
@@ -138,6 +154,17 @@ class Link:
         """
         direction = self._a_to_b if side == "a" else self._b_to_a
         direction.fault_injector = injector
+
+    def install_tap(self, side: str, tap: Optional[Tap]) -> None:
+        """Passively observe packets transmitted *from* ``side``.
+
+        The tap sees every packet that finished serialising, with the
+        verdict the fault pipeline assigned ("delivered", "dropped",
+        "delivered+corrupt", ... or "loss_fn_dropped"); it must not mutate
+        the packet or touch the loop (``None`` uninstalls).
+        """
+        direction = self._a_to_b if side == "a" else self._b_to_a
+        direction.tap = tap
 
     def fault_stats(self, side: str) -> dict:
         """The installed injector's counters for ``side`` (empty if none)."""

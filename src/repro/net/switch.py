@@ -23,6 +23,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.net.faults import FaultInjector
 
 Receiver = Callable[[Packet], None]
+Tap = Callable[[Packet, str], None]
 
 
 class _Port:
@@ -36,6 +37,8 @@ class _Port:
         self.busy = False
         self.receiver: Optional[Receiver] = None
         self.fault_injector: Optional["FaultInjector"] = None
+        # Passive capture tap: (packet, verdict) at delivery time.
+        self.tap: Optional[Tap] = None
         self.dropped = 0
         self.trimmed = 0
 
@@ -87,10 +90,24 @@ class Switch:
                 headroom = port.buffer_bytes + 8192
                 if port.queued + size > headroom:
                     port.dropped += 1
+                    if port.tap is not None:
+                        port.tap(packet, "buffer_dropped")
                     return
             else:
                 port.dropped += 1
+                if port.tap is not None:
+                    port.tap(packet, "buffer_dropped")
                 return
+        obs = self.loop.obs
+        if obs is not None:
+            # Span covering the packet's residency in this egress port:
+            # its duration is queueing + serialisation on the virtual clock.
+            packet.meta["obs_span"] = obs.tracer.begin(
+                "switch",
+                f"port{packet.ip.dst_addr}",
+                prio=packet.transport.priority,
+                qdepth=port.queued,
+            )
         prio = packet.transport.priority
         port.queues[prio].append(packet)
         port.queued += size
@@ -110,17 +127,32 @@ class Switch:
         port.queued -= packet.wire_size
         tx_time = (packet.wire_size * 8) / port.bandwidth
         def finish(pkt: Packet = packet) -> None:
+            span = pkt.meta.pop("obs_span", None)
+            if span is not None:
+                self.loop.obs.tracer.end(span)
             receiver = port.receiver
             if receiver is not None:
                 injector = port.fault_injector
-                if injector is not None:
+                if injector is not None or port.tap is not None:
                     self.loop.call_later(
-                        port.delay, lambda: injector.process(pkt, receiver)
+                        port.delay, lambda: self._deliver(port, pkt)
                     )
                 else:
                     self.loop.call_later(port.delay, lambda: receiver(pkt))
             self._start_next(port)
         self.loop.call_later(tx_time, finish)
+
+    def _deliver(self, port: _Port, packet: Packet) -> None:
+        """Post-propagation delivery through the injector and/or tap."""
+        receiver = port.receiver
+        injector = port.fault_injector
+        if injector is not None:
+            verdict = injector.process(packet, receiver)
+        else:
+            verdict = "delivered"
+            receiver(packet)
+        if port.tap is not None:
+            port.tap(packet, verdict)
 
     def inject_faults(self, addr: int, injector: Optional["FaultInjector"]) -> None:
         """Adversarial conditions on the egress port toward host ``addr``."""
@@ -128,6 +160,13 @@ class Switch:
         if port is None:
             raise SimulationError(f"no port for address {addr}")
         port.fault_injector = injector
+
+    def install_tap(self, addr: int, tap: Optional[Tap]) -> None:
+        """Passively observe the egress port toward host ``addr``."""
+        port = self._ports.get(addr)
+        if port is None:
+            raise SimulationError(f"no port for address {addr}")
+        port.tap = tap
 
     def stats(self, addr: int) -> dict:
         port = self._ports[addr]

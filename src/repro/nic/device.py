@@ -56,8 +56,17 @@ class Nic:
         self.segments_sent = 0
         self.packets_sent = 0
         self.records_offloaded = 0
+        self.obs = None
+        self.obs_name = f"nic.{side}"
         link.attach(side, self._on_wire_rx)
         loop.process(self._engine())
+
+    def bind_obs(self, obs, name: Optional[str] = None) -> None:
+        """Count TSO/GSO activity under ``name`` (also binds the TLS table)."""
+        self.obs = obs
+        if name is not None:
+            self.obs_name = name
+        self.flow_contexts.bind_obs(obs, f"{self.obs_name}.tls")
 
     # -- host-facing API -------------------------------------------------------
 
@@ -132,14 +141,15 @@ class Nic:
             segment.header.src_port,
             segment.header.dst_port,
         )
+        metrics = self.obs.metrics if self.obs is not None else None
         sub_segments = [segment]
         if self.tso_mode is TsoMode.PAIRS and segment.num_packets > 2:
-            sub_segments = gso_split(segment, 2)
+            sub_segments = gso_split(segment, 2, metrics, self.obs_name)
         packets: list[Packet] = []
         for sub in sub_segments:
             start = self._ipid.get(flow_key, 0)
             self._ipid[flow_key] = (start + sub.num_packets) & 0xFFFF
-            packets.extend(split_segment(sub, start))
+            packets.extend(split_segment(sub, start, metrics, self.obs_name))
         return packets
 
     # -- receive ------------------------------------------------------------------

@@ -108,6 +108,15 @@ class FlowContextTable:
         self._contexts: dict[object, _FlowContext] = {}
         self.allocations = 0
         self.evictions = 0
+        # Optional observability binding (repro.obs.Observability); the
+        # table has no loop reference, so the NIC/testbed binds explicitly.
+        self.obs = None
+        self.obs_name = "nic.tls"
+
+    def bind_obs(self, obs, name: str = "nic.tls") -> None:
+        """Record spans/counters under ``name`` on ``obs`` from now on."""
+        self.obs = obs
+        self.obs_name = name
 
     def install(self, key: object, aead: Aead, iv: bytes) -> None:
         """Host installs key material for a context (connection/queue setup)."""
@@ -139,6 +148,8 @@ class FlowContextTable:
             raise ProtocolError(f"resync for unknown context {resync.context_key!r}")
         ctx.expected_seqno = resync.seqno
         ctx.resyncs += 1
+        if self.obs is not None:
+            self.obs.metrics.counter(f"{self.obs_name}.resyncs_applied").add()
 
     def encrypt_segment(self, payload: bytes, descriptor: TlsOffloadDescriptor) -> bytes:
         """Encrypt every described record in ``payload`` in place.
@@ -154,6 +165,13 @@ class FlowContextTable:
             raise ProtocolError(
                 f"segment references unknown context {descriptor.context_key!r}"
             )
+        obs = self.obs
+        span = None
+        if obs is not None:
+            span = obs.tracer.begin(
+                "nic.tls_offload", self.obs_name, records=len(descriptor.records)
+            )
+        out_of_sync = 0
         out = bytearray(payload)
         for rec in descriptor.records:
             if ctx.expected_seqno is None:
@@ -162,6 +180,7 @@ class FlowContextTable:
             use_seqno = ctx.expected_seqno
             if use_seqno != rec.seqno:
                 ctx.out_of_sync_records += 1
+                out_of_sync += 1
             start = rec.offset
             header_end = start + RECORD_HEADER_SIZE
             body_end = header_end + rec.plaintext_len + 1 + TAG_SIZE
@@ -175,4 +194,13 @@ class FlowContextTable:
             out[start:body_end] = sealed
             ctx.records_encrypted += 1
             ctx.expected_seqno = use_seqno + 1
+        if obs is not None:
+            obs.metrics.counter(f"{self.obs_name}.records_encrypted").add(
+                len(descriptor.records)
+            )
+            if out_of_sync:
+                obs.metrics.counter(f"{self.obs_name}.out_of_sync_records").add(
+                    out_of_sync
+                )
+            obs.tracer.end(span, out_of_sync=out_of_sync)
         return bytes(out)

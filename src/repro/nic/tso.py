@@ -66,8 +66,14 @@ class TsoSegment:
         return max(1, (len(self.payload) + self.mss - 1) // self.mss)
 
 
-def split_segment(segment: TsoSegment, start_ipid: int) -> list[Packet]:
-    """Cut a segment into packets exactly like NIC TSO would."""
+def split_segment(
+    segment: TsoSegment, start_ipid: int, metrics=None, prefix: str = "nic"
+) -> list[Packet]:
+    """Cut a segment into packets exactly like NIC TSO would.
+
+    ``metrics`` (a :class:`repro.obs.metrics.MetricsRegistry`) counts
+    segments and emitted packets under ``{prefix}.tso.*``.
+    """
     packets: list[Packet] = []
     payload = segment.payload
     mss = segment.mss
@@ -89,10 +95,15 @@ def split_segment(segment: TsoSegment, start_ipid: int) -> list[Packet]:
         meta = dict(segment.meta)
         meta["segment_end"] = i == count - 1  # GRO flushes per TSO burst
         packets.append(Packet(ip, header, chunk, meta))
+    if metrics is not None:
+        metrics.counter(f"{prefix}.tso.segments").add()
+        metrics.counter(f"{prefix}.tso.packets").add(count)
     return packets
 
 
-def gso_split(segment: TsoSegment, packets_per_segment: int) -> list[TsoSegment]:
+def gso_split(
+    segment: TsoSegment, packets_per_segment: int, metrics=None, prefix: str = "nic"
+) -> list[TsoSegment]:
     """Software GSO: cut one large segment into smaller TSO segments.
 
     Used for the paper's two-packet TSO mode (§7 "Segmentation"): GSO
@@ -104,6 +115,8 @@ def gso_split(segment: TsoSegment, packets_per_segment: int) -> list[TsoSegment]
     step = packets_per_segment * segment.mss
     if len(segment.payload) <= step:
         return [segment]
+    if metrics is not None:
+        metrics.counter(f"{prefix}.gso.splits").add()
     out = []
     for off in range(0, len(segment.payload), step):
         chunk = segment.payload[off : off + step]

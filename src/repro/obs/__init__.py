@@ -1,0 +1,22 @@
+"""Layered observability: span tracing, metrics registry, packet capture.
+
+See DESIGN.md §"Observability" for the model.  Everything here is
+strictly passive and virtual-time driven, so enabling observability never
+changes a simulation's outcome and all exports are bit-deterministic
+under a fixed seed.
+"""
+
+from repro.obs.capture import CapturedPacket, PacketCapture
+from repro.obs.metrics import Gauge, MetricsRegistry
+from repro.obs.observability import Observability
+from repro.obs.spans import Span, SpanTracer
+
+__all__ = [
+    "CapturedPacket",
+    "Gauge",
+    "MetricsRegistry",
+    "Observability",
+    "PacketCapture",
+    "Span",
+    "SpanTracer",
+]

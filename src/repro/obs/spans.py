@@ -1,0 +1,204 @@
+"""Virtual-time span tracing.
+
+A :class:`Span` is one named interval of virtual time attributed to a
+*layer* -- the paper's §5 breakdown axes: ``tls.handshake``, ``smt.codec``,
+``homa``, ``nic.tls_offload``, ``host.softirq``, ``host.app``, ``switch``.
+Spans nest, forming a tree per :class:`SpanTracer`.
+
+Two usage styles, matching how the codebase is written:
+
+- synchronous code uses the :meth:`SpanTracer.trace_span` context manager,
+  which parents via an implicit stack::
+
+      with obs.tracer.trace_span("smt.codec", "client.encode", msg_id=7):
+          ...
+
+- generator-style code (processes that ``yield`` across the interval)
+  uses explicit :meth:`SpanTracer.begin` / :meth:`SpanTracer.end`, passing
+  ``parent=`` by hand because the implicit stack cannot survive a yield::
+
+      span = tracer.begin("homa.rx", "server.msg3", parent=None)
+      ...  # arbitrarily many events later
+      tracer.end(span, bytes=n)
+
+Everything is driven by the event-loop clock, so with a fixed seed the
+recorded tree is bit-identical run to run: span ids are sequential ints,
+timestamps are virtual, and nothing here consumes randomness or schedules
+events.  Synchronous work cannot advance virtual time, so spans around it
+have zero duration; they carry the modelled CPU charge in a ``cpu`` attr
+instead, and :meth:`layer_summary` aggregates both.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.event_loop import EventLoop
+
+
+class Span:
+    """One interval on the virtual clock, attributed to a layer."""
+
+    __slots__ = ("id", "parent_id", "layer", "name", "start", "end", "attrs")
+
+    def __init__(
+        self,
+        span_id: int,
+        parent_id: Optional[int],
+        layer: str,
+        name: str,
+        start: float,
+    ):
+        self.id = span_id
+        self.parent_id = parent_id
+        self.layer = layer
+        self.name = name
+        self.start = start
+        self.end: Optional[float] = None
+        self.attrs: dict = {}
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Virtual seconds covered, or None while still open."""
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    def as_dict(self) -> dict:
+        """Stable JSON-serialisable form (insertion-ordered keys)."""
+        return {
+            "id": self.id,
+            "parent": self.parent_id,
+            "layer": self.layer,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "attrs": dict(sorted(self.attrs.items())),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Span({self.layer}/{self.name} #{self.id} @{self.start:g})"
+
+
+class SpanTracer:
+    """Records a tree of :class:`Span` objects on one event loop."""
+
+    def __init__(self, loop: "EventLoop"):
+        self.loop = loop
+        self._spans: list[Span] = []
+        self._stack: list[Span] = []  # context-manager nesting only
+        self._next_id = 0
+
+    # -- recording -----------------------------------------------------------
+
+    def begin(
+        self,
+        layer: str,
+        name: str,
+        parent: Optional[Span] = None,
+        **attrs: object,
+    ) -> Span:
+        """Open a span now.  ``parent`` overrides the context-manager stack."""
+        if parent is None and self._stack:
+            parent = self._stack[-1]
+        span = Span(
+            self._next_id,
+            None if parent is None else parent.id,
+            layer,
+            name,
+            self.loop.now,
+        )
+        self._next_id += 1
+        span.attrs.update(attrs)
+        self._spans.append(span)
+        return span
+
+    def end(self, span: Span, **attrs: object) -> None:
+        """Close ``span`` now, merging ``attrs``.  Idempotent."""
+        if span.end is not None:
+            return
+        span.end = self.loop.now
+        span.attrs.update(attrs)
+
+    @contextmanager
+    def trace_span(self, layer: str, name: str, **attrs: object) -> Iterator[Span]:
+        """Context manager for synchronous code; nests via an implicit stack."""
+        span = self.begin(layer, name, **attrs)
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            self._stack.pop()
+            self.end(span)
+
+    # -- inspection ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def spans(self) -> list[Span]:
+        return list(self._spans)
+
+    def export(self) -> list[dict]:
+        """All spans as flat dicts, in begin order."""
+        return [s.as_dict() for s in self._spans]
+
+    def tree(self) -> list[dict]:
+        """Spans nested under a ``children`` key; roots in begin order."""
+        nodes = {s.id: dict(s.as_dict(), children=[]) for s in self._spans}
+        roots: list[dict] = []
+        for span in self._spans:
+            node = nodes[span.id]
+            if span.parent_id is not None and span.parent_id in nodes:
+                nodes[span.parent_id]["children"].append(node)
+            else:
+                roots.append(node)
+        return roots
+
+    def layer_summary(self) -> dict:
+        """Per-layer totals: span count, virtual seconds, attributed CPU.
+
+        ``virtual_s`` sums closed-span durations (nested spans count toward
+        every enclosing layer -- it is an attribution aid, not a partition);
+        ``cpu_s`` sums the ``cpu`` attrs that zero-duration synchronous
+        spans carry.  Keys are sorted for stable JSON.
+        """
+        out: dict[str, dict] = {}
+        for span in self._spans:
+            entry = out.setdefault(
+                span.layer, {"spans": 0, "open": 0, "virtual_s": 0.0, "cpu_s": 0.0}
+            )
+            entry["spans"] += 1
+            if span.end is None:
+                entry["open"] += 1
+            else:
+                entry["virtual_s"] += span.end - span.start
+            cpu = span.attrs.get("cpu")
+            if isinstance(cpu, (int, float)):
+                entry["cpu_s"] += cpu
+        return dict(sorted(out.items()))
+
+    def render(self) -> str:
+        """Human-readable indented tree (virtual microseconds)."""
+        lines: list[str] = []
+
+        def walk(node: dict, depth: int) -> None:
+            dur = (
+                "open"
+                if node["end"] is None
+                else f"{(node['end'] - node['start']) * 1e6:.3f}us"
+            )
+            attrs = " ".join(f"{k}={v}" for k, v in node["attrs"].items())
+            lines.append(
+                f"{'  ' * depth}[{node['layer']}] {node['name']} "
+                f"@{node['start'] * 1e6:.3f}us {dur}"
+                + (f" {attrs}" if attrs else "")
+            )
+            for child in node["children"]:
+                walk(child, depth + 1)
+
+        for root in self.tree():
+            walk(root, 0)
+        return "\n".join(lines)

@@ -161,6 +161,10 @@ class EventLoop:
         self._now = 0.0
         self._queue: list[tuple[float, int, Callable[[], None]]] = []
         self._seq = 0
+        # Per-loop observability hub (repro.obs.Observability) or None.
+        # Instrumentation points across the stack guard on this, so an
+        # unobserved loop runs the exact event sequence it always did.
+        self.obs = None
 
     @property
     def now(self) -> float:

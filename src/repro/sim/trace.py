@@ -68,12 +68,23 @@ class Histogram:
     def __init__(self, name: str = ""):
         self.name = name
         self._samples: list[float] = []
+        self._sorted: Optional[list[float]] = None
+        self.sort_count = 0  # how many times the cache was (re)built
 
     def record(self, value: float) -> None:
         self._samples.append(value)
+        self._sorted = None
 
     def extend(self, values: Iterable[float]) -> None:
         self._samples.extend(values)
+        self._sorted = None
+
+    def _sorted_view(self) -> list[float]:
+        """Sorted samples, cached until the next record/extend."""
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+            self.sort_count += 1
+        return self._sorted
 
     def __len__(self) -> int:
         return len(self._samples)
@@ -93,7 +104,7 @@ class Histogram:
             return 0.0
         if not 0 <= p <= 100:
             raise ValueError(f"percentile out of range: {p}")
-        data = sorted(self._samples)
+        data = self._sorted_view()
         if len(data) == 1:
             return data[0]
         rank = (p / 100) * (len(data) - 1)
@@ -103,6 +114,16 @@ class Histogram:
             return data[lo]
         frac = rank - lo
         return data[lo] * (1 - frac) + data[hi] * frac
+
+    def minimum(self) -> float:
+        if not self._samples:
+            return 0.0
+        return self._sorted_view()[0]
+
+    def maximum(self) -> float:
+        if not self._samples:
+            return 0.0
+        return self._sorted_view()[-1]
 
     def p50(self) -> float:
         return self.percentile(50)

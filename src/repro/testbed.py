@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.host.costs import CostModel
 from repro.host.host import Host
@@ -21,6 +21,9 @@ from repro.nic.device import Nic
 from repro.nic.tso import TsoMode
 from repro.sim.event_loop import EventLoop
 from repro.units import GBPS
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.obs import Observability
 
 
 @dataclass
@@ -38,6 +41,8 @@ class Testbed:
     # clean testbed.
     faults_c2s: Optional[FaultInjector] = None
     faults_s2c: Optional[FaultInjector] = None
+    # Installed by :meth:`enable_obs`; None keeps the bed unobserved.
+    obs: Optional["Observability"] = None
 
     @staticmethod
     def back_to_back(
@@ -100,6 +105,31 @@ class Testbed:
         )
         self.link.inject_faults("a", self.faults_c2s)
         self.link.inject_faults("b", self.faults_s2c)
+        if self.obs is not None:
+            self.obs.observe_fault_injector(self.faults_c2s, "faults.c2s")
+            self.obs.observe_fault_injector(self.faults_s2c, "faults.s2c")
+
+    def enable_obs(self, capture_capacity: int = 4096) -> "Observability":
+        """Switch on span tracing, metrics and packet capture.
+
+        Idempotent; call before driving traffic so every packet is seen.
+        Observation is strictly passive -- same event sequence, same RNG
+        draws, byte-identical transcripts with or without it.
+        """
+        if self.obs is not None:
+            return self.obs
+        from repro.obs import Observability
+
+        obs = Observability(self.loop, capture_capacity=capture_capacity)
+        obs.observe_link(self.link, "c2s", "s2c")
+        obs.observe_host(self.client)
+        obs.observe_host(self.server)
+        if self.faults_c2s is not None:
+            obs.observe_fault_injector(self.faults_c2s, "faults.c2s")
+        if self.faults_s2c is not None:
+            obs.observe_fault_injector(self.faults_s2c, "faults.s2c")
+        self.obs = obs
+        return obs
 
     def fault_stats(self) -> dict:
         """Combined per-direction fault counters (empty when clean)."""
@@ -129,6 +159,7 @@ class StarTestbed:
     fabric: "SwitchFabric"
     clients: list[Host]
     server: Host
+    obs: Optional["Observability"] = None
 
     @staticmethod
     def star(
@@ -168,6 +199,23 @@ class StarTestbed:
             )
             clients.append(client)
         return StarTestbed(loop, fabric, clients, server)
+
+    def enable_obs(self, capture_capacity: int = 4096) -> "Observability":
+        """Observe every switch egress port and every host. Idempotent."""
+        if self.obs is not None:
+            return self.obs
+        from repro.obs import Observability
+
+        obs = Observability(self.loop, capture_capacity=capture_capacity)
+        port_names = {self.server.addr: self.server.name}
+        for client in self.clients:
+            port_names[client.addr] = client.name
+        obs.observe_switch(self.fabric.switch, port_names)
+        obs.observe_host(self.server)
+        for client in self.clients:
+            obs.observe_host(client)
+        self.obs = obs
+        return obs
 
     def run(self, until: Optional[float] = None) -> float:
         return self.loop.run(until=until)

@@ -161,9 +161,35 @@ class _HandshakeBase:
     def __init__(self) -> None:
         self._transcript: list[bytes] = []
         self.trace: list[TraceOp] = []
+        # Optional observability binding: the handshake state machine has
+        # no loop reference, so the endpoint binds it (with the span that
+        # covers the whole connection setup as parent).
+        self.obs = None
+        self.obs_name = "tls"
+        self._obs_parent = None
+
+    def bind_obs(self, obs, name: str = "tls", parent=None) -> None:
+        """Mirror trace ops into ``obs`` counters and emit flight spans."""
+        self.obs = obs
+        self.obs_name = name
+        self._obs_parent = parent
+
+    def _flight_begin(self, flight: str):
+        """Open a span covering one handshake flight (None when unbound)."""
+        if self.obs is None:
+            return None
+        return self.obs.tracer.begin(
+            "tls.handshake", f"{self.obs_name}.{flight}", parent=self._obs_parent
+        )
+
+    def _flight_end(self, span, **attrs: object) -> None:
+        if span is not None:
+            self.obs.tracer.end(span, **attrs)
 
     def _note(self, op_id: str, **detail: object) -> None:
         self.trace.append(TraceOp(op_id, dict(detail)))
+        if self.obs is not None:
+            self.obs.metrics.counter(f"{self.obs_name}.ops.{op_id}").add()
 
     def _absorb(self, encoded: bytes) -> None:
         self._transcript.append(encoded)
@@ -193,6 +219,7 @@ class ClientHandshake(_HandshakeBase):
 
     def start(self) -> bytes:
         """Build the ClientHello."""
+        span = self._flight_begin("client_hello")
         cfg = self.config
         use_ecdhe = cfg.ticket is None or cfg.forward_secrecy
         if use_ecdhe:
@@ -221,12 +248,14 @@ class ClientHandshake(_HandshakeBase):
         encoded = msg.encode()
         self._chlo_bytes = encoded
         self._absorb(encoded)
+        self._flight_end(span, bytes=len(encoded), ecdhe=use_ecdhe)
         return encoded
 
     # -- flight 2 ------------------------------------------------------------
 
     def process_server_flight(self, data: bytes) -> bytes:
         """Consume SHLO + encrypted flight; return the client's final flight."""
+        span = self._flight_begin("server_flight")
         cfg = self.config
         shlo, consumed = HandshakeMessage.decode(data)
         if shlo.msg_type != HS_SERVER_HELLO:
@@ -355,6 +384,7 @@ class ClientHandshake(_HandshakeBase):
             used_psk=psk_accepted,
             used_ecdhe=used_ecdhe,
         )
+        self._flight_end(span, bytes=len(data), psk=psk_accepted, ecdhe=used_ecdhe)
         return bytes(sealer.seal(bytes(flight), CONTENT_HANDSHAKE))
 
     def process_tickets(self, data: bytes) -> list[SessionTicket]:
@@ -407,6 +437,7 @@ class ServerHandshake(_HandshakeBase):
 
     def process_client_hello(self, data: bytes) -> bytes:
         """Consume the CHLO and emit SHLO + encrypted server flight."""
+        span = self._flight_begin("client_hello")
         cfg = self.config
         chlo, consumed = HandshakeMessage.decode(data)
         if chlo.msg_type != HS_CLIENT_HELLO or consumed != len(data):
@@ -507,12 +538,14 @@ class ServerHandshake(_HandshakeBase):
         self._used_ecdhe = use_ecdhe
 
         sealer = _hs_protection(server_hs)
+        self._flight_end(span, bytes=len(data), psk=psk_accepted, ecdhe=use_ecdhe)
         return shlo_encoded + sealer.seal(bytes(flight), CONTENT_HANDSHAKE)
 
     def process_client_flight(self, data: bytes) -> None:
         """Consume the client's (encrypted) auth + Finished flight."""
         if self._schedule is None:
             raise ProtocolError("client flight before ClientHello")
+        span = self._flight_begin("client_flight")
         opener = _hs_protection(self._client_hs_secret)
         record = opener.open(data)
         if record.content_type != CONTENT_HANDSHAKE:
@@ -557,6 +590,7 @@ class ServerHandshake(_HandshakeBase):
             used_psk=self._psk_accepted,
             used_ecdhe=self._used_ecdhe,
         )
+        self._flight_end(span, bytes=len(data), mutual=peer_cert is not None)
 
     def _pre_message_hash(self, _msg: HandshakeMessage) -> bytes:
         return self._th()

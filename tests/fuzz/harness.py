@@ -73,6 +73,9 @@ def build_pair(faults: FaultConfig, fault_seed: int, **config_overrides) -> SmtP
     """Two SMT stacks with a pre-shared session over an adversarial link."""
     config_kwargs = dict(ADVERSARIAL_CONFIG, **config_overrides)
     bed = Testbed.adversarial(faults, fault_seed)
+    # Observe every run: packet capture (with fault verdicts) costs nothing
+    # and lets failure reports show the last packets next to the seed.
+    bed.enable_obs(capture_capacity=2048)
     ct = HomaTransport(bed.client, HomaConfig(**config_kwargs), proto=PROTO_SMT)
     st = HomaTransport(bed.server, HomaConfig(**config_kwargs), proto=PROTO_SMT)
     client_write = TrafficKeys(key=b"\x01" * 16, iv=b"\x02" * 12)
@@ -82,6 +85,8 @@ def build_pair(faults: FaultConfig, fault_seed: int, **config_overrides) -> SmtP
     server_session = SmtSession(server_write, client_write)
     client_codec = SmtCodec(client_session, costs)
     server_codec = SmtCodec(server_session, costs)
+    client_codec.bind_obs(bed.obs, "client.smt")
+    server_codec.bind_obs(bed.obs, "server.smt")
     csock = HomaSocket(
         ct, bed.client.alloc_port(), codec_provider=lambda a, p: client_codec
     )
@@ -131,11 +136,12 @@ def run_exchange(
     done = pair.bed.loop.process(client())
     pair.bed.loop.run(until=until)
     context = f"seed={seed} faults=({pair.bed.faults_c2s.config.describe()})"
+    tail = pair.bed.obs.capture.tail_text(20)
     assert done.triggered, (
-        f"deadlocked exchange [{context}] fault_stats={pair.bed.fault_stats()}"
+        f"deadlocked exchange [{context}] fault_stats={pair.bed.fault_stats()}\n{tail}"
     )
     if not done.ok:
-        raise AssertionError(f"exchange failed [{context}]") from done.value
+        raise AssertionError(f"exchange failed [{context}]\n{tail}") from done.value
     return results
 
 
@@ -146,10 +152,13 @@ def fuzz_one_seed(seed: int, n_messages: int = 6) -> SmtPair:
     start_echo_server(pair)
     payloads = random_payloads(seed, n_messages)
     results = run_exchange(pair, payloads, seed=seed)
+    tail = pair.bed.obs.capture.tail_text(20)
     for i, (sent, got) in enumerate(zip(payloads, results)):
         assert got == sent, (
             f"REPRODUCING SEED: {seed} -- message {i} corrupted in delivery "
-            f"({len(sent)} bytes sent, faults: {faults.describe()})"
+            f"({len(sent)} bytes sent, faults: {faults.describe()})\n{tail}"
         )
-    assert len(results) == n_messages, f"REPRODUCING SEED: {seed} -- lost messages"
+    assert len(results) == n_messages, (
+        f"REPRODUCING SEED: {seed} -- lost messages\n{tail}"
+    )
     return pair

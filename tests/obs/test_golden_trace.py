@@ -1,0 +1,100 @@
+"""Golden-trace tests: the observability layer's output, locked down.
+
+Each scenario runs under a fixed seed and its full observability output --
+the metrics/span snapshot, the rendered span tree, and the packet-capture
+JSONL -- is compared byte-for-byte against checked-in golden files.  Any
+change to instrumentation points, span layering, metric naming, capture
+columns or the simulation's event order shows up as a readable diff here.
+
+To regenerate after an intentional change::
+
+    PYTHONPATH=src python -m pytest tests/obs/test_golden_trace.py --update-goldens
+"""
+
+import json
+import pathlib
+import runpy
+
+import pytest
+
+from repro.net.faults import schedule_from_seed
+
+from tests.fuzz.harness import (
+    build_pair,
+    fuzz_one_seed,
+    random_payloads,
+    run_exchange,
+    start_echo_server,
+)
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+GOLDENS = pathlib.Path(__file__).parent / "goldens"
+
+# The adversarial scenario: one fixed fuzz seed whose schedule exercises
+# drops, corruption, duplication and reordering (see the golden capture).
+ADVERSARIAL_SEED = 1337
+
+
+def check_golden(name: str, text: str, update: bool) -> None:
+    """Compare ``text`` against the golden file, or rewrite it."""
+    path = GOLDENS / name
+    if update:
+        GOLDENS.mkdir(exist_ok=True)
+        path.write_text(text)
+        return
+    assert path.exists(), (
+        f"missing golden {path.name}; run with --update-goldens to create it"
+    )
+    expected = path.read_text()
+    assert text == expected, (
+        f"observability output diverged from golden {path.name}; "
+        f"if the change is intentional, rerun with --update-goldens"
+    )
+
+
+def quickstart_obs():
+    mod = runpy.run_path(str(REPO / "examples" / "quickstart.py"))
+    bed = mod["run_quickstart"](observe=True, verbose=False)
+    return bed.obs
+
+
+class TestQuickstartGoldens:
+    def test_snapshot(self, update_goldens):
+        obs = quickstart_obs()
+        text = json.dumps(obs.snapshot(), indent=1) + "\n"
+        check_golden("quickstart_snapshot.json", text, update_goldens)
+
+    def test_span_tree(self, update_goldens):
+        obs = quickstart_obs()
+        check_golden("quickstart_spans.txt", obs.tracer.render() + "\n", update_goldens)
+
+    def test_capture(self, update_goldens):
+        obs = quickstart_obs()
+        check_golden(
+            "quickstart_capture.jsonl", obs.capture.export_jsonl() + "\n", update_goldens
+        )
+
+
+class TestAdversarialGoldens:
+    def test_snapshot_and_capture(self, update_goldens):
+        pair = fuzz_one_seed(ADVERSARIAL_SEED)
+        obs = pair.bed.obs
+        check_golden(
+            "adversarial_snapshot.json",
+            json.dumps(obs.snapshot(), indent=1) + "\n",
+            update_goldens,
+        )
+        check_golden(
+            "adversarial_capture.jsonl",
+            obs.capture.export_jsonl() + "\n",
+            update_goldens,
+        )
+
+    def test_fault_verdicts_reach_the_capture(self):
+        """The adversarial golden is only meaningful if faults fired."""
+        faults = schedule_from_seed(ADVERSARIAL_SEED)
+        pair = build_pair(faults, fault_seed=ADVERSARIAL_SEED)
+        start_echo_server(pair)
+        run_exchange(pair, random_payloads(ADVERSARIAL_SEED, 6), seed=ADVERSARIAL_SEED)
+        verdicts = {r.verdict for r in pair.bed.obs.capture.packets()}
+        assert any(v != "delivered" for v in verdicts), verdicts

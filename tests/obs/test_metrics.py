@@ -1,0 +1,98 @@
+"""Unit tests for the hierarchical metrics registry."""
+
+import json
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.trace import Counter, CounterSet, Histogram, RateMeter
+
+
+class TestRegistration:
+    def test_counter_created_on_first_use(self):
+        reg = MetricsRegistry()
+        reg.counter("client.homa.rx.packets").add(3)
+        reg.counter("client.homa.rx.packets").add(2)
+        assert reg.snapshot()["client.homa.rx.packets"] == 5
+
+    def test_type_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(SimulationError):
+            reg.histogram("x")
+
+    def test_gauge_reads_live_state(self):
+        reg = MetricsRegistry()
+        state = {"depth": 0}
+        reg.gauge("q.depth", lambda: state["depth"])
+        state["depth"] = 7
+        assert reg.snapshot()["q.depth"] == 7
+
+    def test_gauge_rebind_allowed(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", lambda: 1)
+        reg.gauge("g", lambda: 2)  # a replaced session re-registers its gauges
+        assert reg.snapshot()["g"] == 2
+
+    def test_gauge_cannot_shadow_other_instrument(self):
+        reg = MetricsRegistry()
+        reg.counter("c")
+        with pytest.raises(SimulationError):
+            reg.gauge("c", lambda: 0)
+
+    def test_attach_adopts_existing_instrument(self):
+        reg = MetricsRegistry()
+        counters = CounterSet(["dropped", "corrupted"], prefix="c2s.")
+        reg.attach("faults.c2s", counters)
+        reg.attach("faults.c2s", counters)  # same object: idempotent
+        counters.dropped.add()
+        assert reg.snapshot()["faults.c2s"] == {"dropped": 1, "corrupted": 0}
+        with pytest.raises(SimulationError):
+            reg.attach("faults.c2s", CounterSet(["dropped"], prefix="other."))
+
+    def test_attach_rejects_non_instruments(self):
+        reg = MetricsRegistry()
+        with pytest.raises(SimulationError):
+            reg.attach("x", object())
+
+
+class TestSnapshot:
+    def test_keys_sorted_and_json_serialisable(self):
+        reg = MetricsRegistry()
+        reg.counter("z.last")
+        reg.counter("a.first")
+        reg.histogram("m.hist").record(2.0)
+        reg.rate_meter("m.meter")
+        snap = reg.snapshot()
+        assert list(snap) == sorted(snap)
+        json.dumps(snap)
+
+    def test_histogram_rendering(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        h.extend([1.0, 2.0, 3.0, 4.0])
+        rendered = reg.snapshot()["h"]
+        assert rendered["count"] == 4
+        assert rendered["min"] == 1.0
+        assert rendered["max"] == 4.0
+        assert rendered["mean"] == pytest.approx(2.5)
+
+    def test_rate_meter_rendering(self):
+        reg = MetricsRegistry()
+        m = reg.rate_meter("m")
+        m.start(0.0)
+        m.record(1000)
+        m.stop(1.0)
+        rendered = reg.snapshot()["m"]
+        assert rendered["completions"] == 1
+        assert rendered["bytes"] == 1000
+        assert rendered["rate"] == pytest.approx(1.0)
+
+    def test_names_lists_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.gauge("a", lambda: 0)
+        assert reg.names() == ["a", "b"]
+        assert "a" in reg and len(reg) == 2
+        assert isinstance(reg.get("b"), Counter)

@@ -1,0 +1,124 @@
+"""Unit tests for the virtual-time span tracer."""
+
+import pytest
+
+from repro.obs.spans import SpanTracer
+from repro.sim.event_loop import EventLoop
+
+
+def advance(loop: EventLoop, dt: float) -> None:
+    """Move the virtual clock forward by scheduling a no-op."""
+    loop.call_later(dt, lambda: None)
+    loop.run()
+
+
+class TestSpanLifecycle:
+    def test_begin_end_duration(self):
+        loop = EventLoop()
+        tracer = SpanTracer(loop)
+        span = tracer.begin("homa.tx", "client.msg0", bytes=100)
+        advance(loop, 5e-6)
+        tracer.end(span, outcome="acked")
+        assert span.duration == pytest.approx(5e-6)
+        assert span.attrs == {"bytes": 100, "outcome": "acked"}
+
+    def test_end_is_idempotent(self):
+        loop = EventLoop()
+        tracer = SpanTracer(loop)
+        span = tracer.begin("l", "n")
+        advance(loop, 1e-6)
+        tracer.end(span)
+        first_end = span.end
+        advance(loop, 1e-6)
+        tracer.end(span, late="ignored")
+        assert span.end == first_end
+        assert "late" not in span.attrs
+
+    def test_open_span_has_no_duration(self):
+        tracer = SpanTracer(EventLoop())
+        assert tracer.begin("l", "n").duration is None
+
+    def test_ids_are_sequential(self):
+        tracer = SpanTracer(EventLoop())
+        ids = [tracer.begin("l", f"s{i}").id for i in range(5)]
+        assert ids == [0, 1, 2, 3, 4]
+
+
+class TestNesting:
+    def test_context_manager_stack_parents(self):
+        tracer = SpanTracer(EventLoop())
+        with tracer.trace_span("a", "outer") as outer:
+            with tracer.trace_span("b", "inner") as inner:
+                pass
+        assert inner.parent_id == outer.id
+        assert outer.parent_id is None
+
+    def test_explicit_parent_overrides_stack(self):
+        tracer = SpanTracer(EventLoop())
+        root = tracer.begin("a", "root")
+        with tracer.trace_span("b", "cm"):
+            child = tracer.begin("c", "child", parent=root)
+        assert child.parent_id == root.id
+
+    def test_begin_inside_context_manager_parents_to_it(self):
+        tracer = SpanTracer(EventLoop())
+        with tracer.trace_span("a", "outer") as outer:
+            child = tracer.begin("b", "child")
+        assert child.parent_id == outer.id
+
+    def test_tree_nests_children(self):
+        tracer = SpanTracer(EventLoop())
+        with tracer.trace_span("a", "outer"):
+            with tracer.trace_span("b", "inner"):
+                pass
+        roots = tracer.tree()
+        assert len(roots) == 1
+        assert roots[0]["name"] == "outer"
+        assert [c["name"] for c in roots[0]["children"]] == ["inner"]
+
+    def test_render_mentions_every_span(self):
+        tracer = SpanTracer(EventLoop())
+        with tracer.trace_span("a", "outer"):
+            tracer.begin("b", "open-child")
+        text = tracer.render()
+        assert "outer" in text and "open-child" in text and "open" in text
+
+
+class TestLayerSummary:
+    def test_virtual_and_cpu_accounting(self):
+        loop = EventLoop()
+        tracer = SpanTracer(loop)
+        span = tracer.begin("host.softirq", "s0")
+        advance(loop, 2e-6)
+        tracer.end(span, cpu=1.5e-6)
+        with tracer.trace_span("smt.codec", "encode", cpu=3e-6):
+            pass  # zero virtual duration, CPU attr only
+        tracer.begin("homa.rx", "still-open")
+        summary = tracer.layer_summary()
+        assert summary["host.softirq"] == {
+            "spans": 1, "open": 0,
+            "virtual_s": pytest.approx(2e-6), "cpu_s": pytest.approx(1.5e-6),
+        }
+        assert summary["smt.codec"]["virtual_s"] == 0.0
+        assert summary["smt.codec"]["cpu_s"] == pytest.approx(3e-6)
+        assert summary["homa.rx"]["open"] == 1
+        assert list(summary) == sorted(summary)
+
+    def test_non_numeric_cpu_attr_ignored(self):
+        tracer = SpanTracer(EventLoop())
+        with tracer.trace_span("l", "n", cpu="not-a-number"):
+            pass
+        assert tracer.layer_summary()["l"]["cpu_s"] == 0.0
+
+
+class TestExport:
+    def test_export_is_json_stable(self):
+        import json
+
+        tracer = SpanTracer(EventLoop())
+        with tracer.trace_span("l", "n", b=1, a=2):
+            pass
+        exported = tracer.export()
+        assert json.dumps(exported)  # serialisable
+        # Attrs are sorted so dict insertion order cannot leak through.
+        assert list(exported[0]["attrs"]) == ["a", "b"]

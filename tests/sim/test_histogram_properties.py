@@ -1,0 +1,125 @@
+"""Property tests for ``Histogram.percentile`` and its sort cache.
+
+Seeded ``random.Random`` loops stand in for a property-testing framework
+(the container has no hypothesis): each property is checked over many
+randomly drawn sample sets, and any failure message carries the case
+index so the exact draw is reproducible.
+"""
+
+import random
+import statistics
+
+import pytest
+
+from repro.sim.trace import Histogram
+
+
+def random_samples(rng: random.Random) -> list[float]:
+    n = rng.randrange(1, 200)
+    scale = 10 ** rng.randrange(-6, 4)
+    return [rng.random() * scale for _ in range(n)]
+
+
+class TestPercentileProperties:
+    def test_monotone_in_p(self):
+        rng = random.Random(101)
+        for case in range(50):
+            h = Histogram()
+            h.extend(random_samples(rng))
+            ps = sorted(rng.uniform(0, 100) for _ in range(10))
+            values = [h.percentile(p) for p in ps]
+            assert values == sorted(values), f"case {case}: not monotone in p"
+
+    def test_bounded_by_min_and_max(self):
+        rng = random.Random(202)
+        for case in range(50):
+            samples = random_samples(rng)
+            h = Histogram()
+            h.extend(samples)
+            for p in (0, rng.uniform(0, 100), 100):
+                v = h.percentile(p)
+                assert min(samples) <= v <= max(samples), f"case {case}: p={p}"
+            assert h.percentile(0) == min(samples) == h.minimum()
+            assert h.percentile(100) == max(samples) == h.maximum()
+
+    def test_p50_of_symmetric_sample_is_median(self):
+        rng = random.Random(303)
+        for case in range(50):
+            # A sample symmetric around ``centre``: mirrored pairs plus the
+            # centre itself, so the median is exactly the centre.
+            centre = rng.uniform(-100, 100)
+            offsets = [rng.uniform(0, 50) for _ in range(rng.randrange(1, 40))]
+            samples = [centre] + [centre - o for o in offsets] + [centre + o for o in offsets]
+            rng.shuffle(samples)
+            h = Histogram()
+            h.extend(samples)
+            assert h.percentile(50) == pytest.approx(centre), f"case {case}"
+            assert h.percentile(50) == pytest.approx(statistics.median(samples))
+
+    def test_agrees_with_statistics_quantiles(self):
+        rng = random.Random(404)
+        for case in range(25):
+            samples = random_samples(rng)
+            if len(samples) < 2:
+                samples.append(rng.random())
+            h = Histogram()
+            h.extend(samples)
+            # method="inclusive" is the same linear interpolation over
+            # [min, max] that Histogram.percentile implements.
+            cuts = statistics.quantiles(samples, n=100, method="inclusive")
+            for p in range(1, 100):
+                assert h.percentile(p) == pytest.approx(cuts[p - 1], rel=1e-12), (
+                    f"case {case}: p={p}"
+                )
+
+    def test_rejects_out_of_range_p(self):
+        h = Histogram()
+        h.record(1.0)
+        with pytest.raises(ValueError):
+            h.percentile(-0.1)
+        with pytest.raises(ValueError):
+            h.percentile(100.1)
+
+    def test_empty_histogram_returns_zero(self):
+        h = Histogram()
+        assert h.percentile(50) == 0.0
+        assert h.minimum() == 0.0 and h.maximum() == 0.0
+
+
+class TestSortCache:
+    def test_p50_and_p99_sort_once(self):
+        """Regression: percentile() used to re-sort every call."""
+        h = Histogram()
+        h.extend(range(1000))
+        assert h.sort_count == 0
+        p50, p99 = h.p50(), h.p99()
+        assert h.sort_count == 1
+        assert (p50, p99) == (h.p50(), h.p99())  # still cached
+        assert h.sort_count == 1
+
+    def test_record_invalidates_cache(self):
+        h = Histogram()
+        h.extend([3.0, 1.0, 2.0])
+        assert h.p50() == 2.0
+        h.record(100.0)
+        assert h.maximum() == 100.0  # new sample visible
+        assert h.sort_count == 2
+
+    def test_extend_invalidates_cache(self):
+        h = Histogram()
+        h.record(5.0)
+        assert h.p50() == 5.0
+        h.extend([1.0, 9.0])
+        assert h.p50() == 5.0
+        assert h.minimum() == 1.0 and h.maximum() == 9.0
+        assert h.sort_count == 2
+
+    def test_cache_does_not_change_results(self):
+        rng = random.Random(505)
+        samples = random_samples(rng)
+        h = Histogram()
+        h.extend(samples)
+        first = [h.percentile(p) for p in (1, 25, 50, 75, 99)]
+        again = [h.percentile(p) for p in (1, 25, 50, 75, 99)]
+        assert first == again
+        assert h.sort_count == 1

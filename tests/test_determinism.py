@@ -51,3 +51,33 @@ class TestDeterminism:
         a = _zero_rtt(forward_secrecy=True)
         b = _zero_rtt(forward_secrecy=True)
         assert a.finished_at == b.finished_at
+
+    def test_observability_snapshot_reproducible(self):
+        """Two same-seed adversarial runs give byte-identical obs output.
+
+        The full observability surface -- metrics snapshot, span summary,
+        capture exports -- must be a pure function of the seed, or golden
+        traces and failure reports would be unusable.
+        """
+        import json
+
+        from tests.fuzz.harness import fuzz_one_seed
+
+        def run(seed: int):
+            obs = fuzz_one_seed(seed).bed.obs
+            return (
+                json.dumps(obs.snapshot()),
+                obs.capture.export_jsonl(),
+                obs.capture.export_text(),
+                json.dumps(obs.tracer.export()),
+            )
+
+        assert run(99) == run(99)
+
+    def test_observation_does_not_perturb_results(self):
+        """Observed and unobserved same-seed runs measure identically."""
+        a = unloaded_rtt("smt-hw", 1024, repetitions=8, observe=False)
+        b = unloaded_rtt("smt-hw", 1024, repetitions=8, observe=True)
+        assert a.mean == b.mean
+        assert a.p99 == b.p99
+        assert b.obs is not None and a.obs is None
