@@ -4,10 +4,15 @@ Usage::
 
     python -m repro.bench              # every table and figure
     python -m repro.bench fig6 fig7    # a subset
+    python -m repro.bench --jobs 4     # fan out over worker processes
+    python -m repro.bench perf --quick # kernel micro-bench, CI-sized
     python -m repro.bench --list
 
 Each benchmark prints the regenerated table plus its paper-band checks;
-the exit code is non-zero if any check lands outside its band.
+the exit code is non-zero if any check lands outside its band.  With
+``--jobs N`` the experiments run in worker processes; results (tables,
+band checks and the JSON reports) are merged in deterministic order and
+are identical to a serial run except for the ``perf`` wall-clock key.
 """
 
 from __future__ import annotations
@@ -16,39 +21,8 @@ import argparse
 import json
 import pathlib
 import sys
-import time
 
-from repro.bench import (
-    ablations,
-    fig5,
-    fig6,
-    fig7,
-    fig8,
-    fig9,
-    fig10,
-    fig11,
-    fig12,
-    table1,
-    table2,
-)
-
-EXPERIMENTS = {
-    "table1": table1.run,
-    "table2": table2.run,
-    "fig5": fig5.run,
-    "fig6": fig6.run,
-    "fig7": fig7.run,
-    "fig7-mtu": fig7.run_mtu_comparison,
-    "fig7-cpu": fig7.run_cpu_usage,
-    "fig8": fig8.run,
-    "fig9": fig9.run,
-    "fig10": fig10.run,
-    "fig11": fig11.run,
-    "fig12": fig12.run,
-    "ablation-contexts": ablations.run_flow_context_ablation,
-    "ablation-acks": ablations.run_ack_batching_ablation,
-    "ablation-bits": ablations.run_bit_split_ablation,
-}
+from repro.bench.fleet import EXPERIMENTS, run_fleet
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -59,6 +33,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("experiments", nargs="*",
                         help="experiment names (default: all)")
     parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run experiments in N worker processes "
+                             "(default: 1, serial in-process)")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced iteration counts for the 'perf' "
+                             "experiment (CI smoke size)")
     parser.add_argument("--no-json", action="store_true",
                         help="skip writing BENCH_<name>.json report files")
     parser.add_argument("--json-dir", default=".", metavar="DIR",
@@ -68,20 +48,24 @@ def main(argv: list[str] | None = None) -> int:
         for name in EXPERIMENTS:
             print(name)
         return 0
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
     names = args.experiments or list(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiments: {', '.join(unknown)}")
+    results = run_fleet(names, jobs=args.jobs, quick=args.quick)
     misses = 0
-    for name in names:
-        start = time.time()
-        report = EXPERIMENTS[name]()
-        print(report.render())
-        print(f"({name}: {time.time() - start:.1f}s wall)\n")
+    for result in results:
+        print(result.rendered)
+        print(f"({result.name}: {result.wall_s:.1f}s wall, "
+              f"{result.events} events)\n")
         if not args.no_json:
-            out = pathlib.Path(args.json_dir) / f"BENCH_{name}.json"
-            out.write_text(json.dumps(report.to_json(), indent=1) + "\n")
-        misses += len(report.misses)
+            json_dir = pathlib.Path(args.json_dir)
+            json_dir.mkdir(parents=True, exist_ok=True)
+            out = json_dir / f"BENCH_{result.name}.json"
+            out.write_text(json.dumps(result.report_json, indent=1) + "\n")
+        misses += result.misses
     if misses:
         print(f"{misses} band check(s) out of range", file=sys.stderr)
         return 1

@@ -1,0 +1,120 @@
+"""The benchmark fleet: experiment registry + parallel execution.
+
+``EXPERIMENTS`` is the canonical name -> callable registry (it lives here,
+in an importable module, so worker processes can resolve names by import
+rather than by pickling closures).  :func:`run_experiment` runs one
+experiment and wraps its report with wall-clock perf bookkeeping;
+:func:`run_fleet` runs many, optionally across a process pool.
+
+Determinism: experiments are mutually independent (each builds its own
+testbeds and event loops from fixed seeds), so running them in worker
+processes cannot change any measured virtual-time result.  Results are
+merged back in *request order* regardless of completion order, and the
+only fields that may differ between ``--jobs 1`` and ``--jobs N`` runs
+live under the report's ``perf`` key (host wall time), which equivalence
+tests exclude.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.bench import (
+    ablations,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    perf,
+    table1,
+    table2,
+)
+from repro.sim.event_loop import events_dispatched
+
+EXPERIMENTS = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "fig7-mtu": fig7.run_mtu_comparison,
+    "fig7-cpu": fig7.run_cpu_usage,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+    "fig10": fig10.run,
+    "fig11": fig11.run,
+    "fig12": fig12.run,
+    "ablation-contexts": ablations.run_flow_context_ablation,
+    "ablation-acks": ablations.run_ack_batching_ablation,
+    "ablation-bits": ablations.run_bit_split_ablation,
+    "perf": perf.run,
+}
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's rendered output plus its JSON report."""
+
+    name: str
+    rendered: str
+    report_json: dict
+    misses: int
+    wall_s: float
+    events: int
+
+
+def run_experiment(name: str, quick: bool = False) -> ExperimentResult:
+    """Run one registered experiment, timing it and counting loop events.
+
+    The returned JSON report carries a ``perf`` key with host wall time and
+    events/sec; everything else in the report is pure virtual-time output
+    and is identical no matter where or when the experiment runs.
+    """
+    fn = EXPERIMENTS[name]
+    events0 = events_dispatched()
+    start = time.perf_counter()
+    report = fn(quick=True) if (name == "perf" and quick) else fn()
+    wall_s = time.perf_counter() - start
+    events = events_dispatched() - events0
+    report_json = report.to_json()
+    report_json["perf"] = {
+        "wall_s": round(wall_s, 4),
+        "events": events,
+        "events_per_sec": round(events / wall_s) if wall_s > 0 else 0,
+    }
+    return ExperimentResult(
+        name=name,
+        rendered=report.render(),
+        report_json=report_json,
+        misses=len(report.misses),
+        wall_s=wall_s,
+        events=events,
+    )
+
+
+def _worker(args: tuple[str, bool]) -> ExperimentResult:
+    name, quick = args
+    return run_experiment(name, quick)
+
+
+def run_fleet(
+    names: list[str], jobs: int = 1, quick: bool = False
+) -> list[ExperimentResult]:
+    """Run experiments, ``jobs`` at a time, merging results in input order.
+
+    ``jobs=1`` runs everything inline in this process (no pool, no pickle
+    round-trip) -- the reference execution.  ``jobs>1`` fans out over a
+    :class:`ProcessPoolExecutor`; the ordered merge makes the combined
+    output independent of worker scheduling.
+    """
+    if jobs <= 1 or len(names) <= 1:
+        return [run_experiment(name, quick) for name in names]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(names))) as pool:
+        # map() preserves input order; workers complete in any order.
+        return list(pool.map(_worker, [(name, quick) for name in names]))

@@ -121,16 +121,23 @@ class SmtCodec:
             len(payload), mss, self.max_record_payload, self.packets_per_segment
         )
         alloc = self.session.allocation
+        seq_base = alloc.encode(msg_id, 0)
+        max_records = alloc.max_records_per_message
         plans: list[SegmentPlan] = []
         cpu = 0.0
         offload = self.session.offload
         queue = (msg_id >> 1) % self.num_nic_queues if offload else None
+        # Zero-copy: record plaintexts are memoryview slices; they become
+        # bytes only inside seal() (or the join building the NIC layout).
+        view = memoryview(payload)
         for seg in frame.segments:
             chunks: list[bytes] = []
             descriptors = []
             for rec in seg.records:
-                seqno = alloc.encode(msg_id, rec.index)
-                plaintext = payload[
+                if rec.index >= max_records:
+                    alloc.encode(msg_id, rec.index)  # raises the canonical error
+                seqno = seq_base | rec.index
+                plaintext = view[
                     rec.plaintext_offset : rec.plaintext_offset + rec.plaintext_len
                 ]
                 cpu += self.costs.smt_frame_per_record
@@ -138,9 +145,13 @@ class SmtCodec:
                     # Plaintext layout the NIC encrypts in place: header,
                     # plaintext, content-type placeholder, zero tag.
                     chunks.append(
-                        encode_record_header(rec.plaintext_len + 1 + TAG_SIZE)
-                        + plaintext
-                        + bytes(1 + TAG_SIZE)
+                        b"".join(
+                            (
+                                encode_record_header(rec.plaintext_len + 1 + TAG_SIZE),
+                                plaintext,
+                                bytes(1 + TAG_SIZE),
+                            )
+                        )
                     )
                     descriptors.append(
                         self.session.record_descriptor(
@@ -195,18 +206,29 @@ class SmtCodec:
 
     def _decode(self, msg_id: int, wire: bytes) -> DecodedMessage:
         alloc = self.session.allocation
+        # One composite encode validates msg_id; per-record seqnos are then
+        # a plain OR with the (validated) record index.
+        seq_base = alloc.encode(msg_id, 0)
+        max_records = alloc.max_records_per_message
         out: list[bytes] = []
         cpu = self.costs.smt_session_lookup
+        total = len(wire)
+        # Zero-copy: records are handed to the record layer as memoryview
+        # slices, so decode copies each byte once (inside AEAD open)
+        # instead of re-slicing the remaining wire per record.
+        view = memoryview(wire)
         off = 0
         index = 0
-        while off < len(wire):
-            _outer, ct_len = parse_record_header(wire[off:])
+        while off < total:
+            _outer, ct_len = parse_record_header(view[off : off + RECORD_HEADER_SIZE])
             end = off + RECORD_HEADER_SIZE + ct_len
-            if end > len(wire):
+            if end > total:
                 raise ProtocolError("truncated record in reassembled message")
-            seqno = alloc.encode(msg_id, index)
+            if index >= max_records:
+                alloc.encode(msg_id, index)  # raises the canonical error
+            seqno = seq_base | index
             try:
-                record = self.session.read_protection.open(wire[off:end], seqno=seqno)
+                record = self.session.read_protection.open(view[off:end], seqno=seqno)
             except Exception:
                 self.auth_failures += 1
                 raise

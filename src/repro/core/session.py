@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.seqspace import BitAllocation
-from repro.crypto.aead import new_aead
+from repro.crypto.aead import shared_aead
 from repro.errors import ProtocolError
 from repro.nic.tls_offload import RecordDescriptor, ResyncDescriptor
 from repro.tls.keyschedule import TrafficKeys
@@ -45,10 +45,10 @@ class SmtSession:
         self._write_keys = write_keys
         self._read_keys = read_keys
         self.write_protection = RecordProtection(
-            new_aead(aead_kind, write_keys.key), write_keys.iv
+            shared_aead(aead_kind, write_keys.key), write_keys.iv
         )
         self.read_protection = RecordProtection(
-            new_aead(aead_kind, read_keys.key), read_keys.iv
+            shared_aead(aead_kind, read_keys.key), read_keys.iv
         )
         # Replay defence for inbound message IDs.
         self._seen_ids: set[int] = set()
@@ -92,10 +92,10 @@ class SmtSession:
         self._write_keys = write_keys
         self._read_keys = read_keys
         self.write_protection = RecordProtection(
-            new_aead(self.aead_kind, write_keys.key), write_keys.iv
+            shared_aead(self.aead_kind, write_keys.key), write_keys.iv
         )
         self.read_protection = RecordProtection(
-            new_aead(self.aead_kind, read_keys.key), read_keys.iv
+            shared_aead(self.aead_kind, read_keys.key), read_keys.iv
         )
         self._seen_ids.clear()
         self._watermark = -1
@@ -158,7 +158,7 @@ class SmtSession:
         key = self.message_context_key(queue, msg_id)
         if not self.nic.flow_contexts.has_context(key):
             self.nic.flow_contexts.install(
-                key, new_aead(self.aead_kind, self._write_keys.key), self._write_keys.iv
+                key, shared_aead(self.aead_kind, self._write_keys.key), self._write_keys.iv
             )
 
     def ensure_context(self, queue: int) -> None:
@@ -166,7 +166,7 @@ class SmtSession:
         key = self.context_key(queue)
         if not self.nic.flow_contexts.has_context(key):
             self.nic.flow_contexts.install(
-                key, new_aead(self.aead_kind, self._write_keys.key), self._write_keys.iv
+                key, shared_aead(self.aead_kind, self._write_keys.key), self._write_keys.iv
             )
             self._queue_expected[queue] = None
 

@@ -14,7 +14,7 @@ Their *timing* inside simulations is charged from the calibrated cost model
 
 from repro.crypto.aes import AES
 from repro.crypto.gcm import AesGcm
-from repro.crypto.aead import Aead, FastAead, new_aead
+from repro.crypto.aead import Aead, FastAead, new_aead, shared_aead
 from repro.crypto.kdf import hkdf_extract, hkdf_expand, hkdf_expand_label, hmac_sha256
 from repro.crypto.ec import P256, ECPoint
 from repro.crypto.ecdh import EcdhKeyPair
@@ -29,6 +29,7 @@ __all__ = [
     "Aead",
     "FastAead",
     "new_aead",
+    "shared_aead",
     "hkdf_extract",
     "hkdf_expand",
     "hkdf_expand_label",

@@ -149,19 +149,35 @@ class AesGcm:
         ekj0 = self._aes.encrypt_block(nonce + b"\x00\x00\x00\x01")
         return bytes(a ^ b for a, b in zip(s, ekj0))
 
-    def seal(self, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
-        """Encrypt and authenticate; returns ciphertext || 16-byte tag."""
+    def seal(self, nonce: bytes, plaintext, aad=b"") -> bytes:
+        """Encrypt and authenticate; returns ciphertext || 16-byte tag.
+
+        ``plaintext`` and ``aad`` may be any bytes-like object; they are
+        materialised here (the zero-copy framing boundary).
+        """
         if len(nonce) != self.nonce_size:
             raise CryptoError(f"GCM nonce must be {self.nonce_size} bytes")
+        if not isinstance(plaintext, bytes):
+            plaintext = bytes(plaintext)
+        if not isinstance(aad, bytes):
+            aad = bytes(aad)
         ciphertext = self._crypt(nonce, plaintext)
         return ciphertext + self._tag(nonce, aad, ciphertext)
 
-    def open(self, nonce: bytes, ciphertext_and_tag: bytes, aad: bytes = b"") -> bytes:
-        """Verify the tag and decrypt; raises AuthenticationError on mismatch."""
+    def open(self, nonce: bytes, ciphertext_and_tag, aad=b"") -> bytes:
+        """Verify the tag and decrypt; raises AuthenticationError on mismatch.
+
+        ``ciphertext_and_tag`` and ``aad`` may be any bytes-like object;
+        they are materialised here (the zero-copy framing boundary).
+        """
         if len(nonce) != self.nonce_size:
             raise CryptoError(f"GCM nonce must be {self.nonce_size} bytes")
         if len(ciphertext_and_tag) < self.tag_size:
             raise AuthenticationError("ciphertext shorter than the tag")
+        if not isinstance(ciphertext_and_tag, bytes):
+            ciphertext_and_tag = bytes(ciphertext_and_tag)
+        if not isinstance(aad, bytes):
+            aad = bytes(aad)
         ciphertext = ciphertext_and_tag[: -self.tag_size]
         tag = ciphertext_and_tag[-self.tag_size :]
         expected = self._tag(nonce, aad, ciphertext)

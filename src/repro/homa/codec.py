@@ -130,8 +130,10 @@ class PlainCodec:
 
     def encode(self, msg_id: int, payload: bytes, mss: int) -> EncodedMessage:
         cap = self.segment_capacity(mss)
+        # Zero-copy: plans hold memoryview slices of the payload.
+        view = memoryview(payload)
         plans = [
-            SegmentPlan(off, payload[off : off + cap])
+            SegmentPlan(off, view[off : off + cap])
             for off in range(0, len(payload), cap)
         ] or [SegmentPlan(0, b"")]
         if not payload:

@@ -233,13 +233,21 @@ class HomaTransport:
         key = (msg.dest_addr, msg.msg_id)
 
         def check() -> None:
+            msg.sender_timer = None
             if not msg.acked and key in self._outbound:
                 # Receiver never acked: free state (it will RESEND if alive).
                 del self._outbound[key]
                 self._encoded.pop(key, None)
                 self._end_tx_span(msg, "timeout")
 
-        self.loop.call_later(self.config.sender_timeout, check)
+        msg.sender_timer = self.loop.timer_later(self.config.sender_timeout, check)
+
+    def _cancel_sender_timeout(self, msg: OutboundMessage) -> None:
+        """Ack arrived: cancel the timeout instead of letting it fire dead."""
+        timer = msg.sender_timer
+        if timer is not None:
+            timer.cancel()
+            msg.sender_timer = None
 
     def _end_tx_span(self, msg: OutboundMessage, outcome: str) -> None:
         span = getattr(msg, "obs_span", None)
@@ -374,6 +382,10 @@ class HomaTransport:
     def _deliver(self, key: tuple, inbound: InboundMessage, socket) -> float:
         wire = inbound.assemble()
         del self._inbound[key]
+        timer = inbound.resend_timer
+        if timer is not None:  # delivered: the RESEND timer has no work left
+            timer.cancel()
+            inbound.resend_timer = None
         self._delivered.add(key)
         if len(self._delivered) > 100_000:
             self._delivered.clear()  # bounded memory; late dupes hit codec filter
@@ -393,6 +405,7 @@ class HomaTransport:
             freed = self._outbound.pop(request_key, None)
             if freed is not None:
                 freed.acked = True
+                self._cancel_sender_timeout(freed)
                 self._encoded.pop(request_key, None)
                 self._end_tx_span(freed, "implicit_ack")
             # Under corruption recovery the ACK must wait until the bytes
@@ -412,7 +425,7 @@ class HomaTransport:
             batch = (socket.port, inbound.peer_port, [inbound.msg_id])
             self._ack_batch[inbound.peer_addr] = batch
             self.loop.call_later(
-                self.ack_flush_interval, lambda: self._flush_acks(inbound.peer_addr)
+                self.ack_flush_interval, self._flush_acks, inbound.peer_addr
             )
         else:
             batch[2].append(inbound.msg_id)
@@ -506,6 +519,7 @@ class HomaTransport:
             return min(grown, max(interval, self.config.max_resend_interval))
 
         def check() -> None:
+            inbound.resend_timer = None
             if inbound.delivered or self._inbound.get(key) is not inbound:
                 return
             if self.loop.now - inbound.last_progress >= interval * 0.9:
@@ -518,9 +532,9 @@ class HomaTransport:
                     inbound.local_port, self.proto,
                 )
                 core.submit(self.costs.homa_grant_tx, lambda: self._request_resend(inbound))
-            self.loop.call_later(next_interval(), check)
+            inbound.resend_timer = self.loop.timer_later(next_interval(), check)
 
-        self.loop.call_later(interval, check)
+        inbound.resend_timer = self.loop.timer_later(interval, check)
 
     def _request_resend(self, inbound: InboundMessage) -> None:
         self.resend_requests += 1
@@ -716,6 +730,7 @@ class HomaTransport:
             msg = self._outbound.pop(key, None)
             if msg is not None:
                 msg.acked = True
+                self._cancel_sender_timeout(msg)
                 self._encoded.pop(key, None)
                 self._end_tx_span(msg, "acked")
         return None

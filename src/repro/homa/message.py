@@ -124,6 +124,9 @@ class InboundMessage:
     delivered: bool = False
     # Segments already fast-resent after an NDP-style trim notification.
     trim_requested: set = field(default_factory=set)
+    # Active RESEND timer handle (repro.sim.Timer); cancelled on delivery
+    # instead of letting a dead timer fire and guard-check.
+    resend_timer: Optional[object] = None
 
     def segment_length(self, tso_offset: int) -> int:
         if tso_offset % self.segment_capacity != 0 or tso_offset >= self.wire_len:
@@ -177,6 +180,8 @@ class OutboundMessage:
     granted: int = 0
     acked: bool = False
     created_at: float = 0.0
+    # Sender-timeout handle (repro.sim.Timer); cancelled when acked.
+    sender_timer: Optional[object] = None
 
     @property
     def fully_sent(self) -> bool:

@@ -55,6 +55,10 @@ class HomaSocket:
         self._codec_provider = codec_provider or (lambda addr, port_: default_codec)
         self._rx_requests: Store = Store(self.loop, f"homa.{port}.rx")
         self._pending: dict[int, Any] = {}  # request msg_id -> Event
+        # request msg_id -> list of live retry-timer chains, each a
+        # one-element list holding that chain's current Timer handle
+        # (corruption recovery can arm a second chain for the same RPC).
+        self._response_timers: dict[int, list] = {}
         # (peer_addr, msg_id) -> failed-decode count (corruption recovery).
         self._corrupt_attempts: dict[tuple[int, int], int] = {}
         transport.bind(self, port)
@@ -127,6 +131,7 @@ class HomaSocket:
                 self._pending[msg_id] = event
                 self._arm_response_timer(msg_id, dest_addr, dest_port)
                 self.transport.recover_inbound(inbound)
+        self._cancel_response_timers(msg_id)
         ack_cost = 0.0
         if config.corruption_recovery:
             # Deferred lazy ACK: only bytes that authenticate may free the
@@ -157,6 +162,7 @@ class HomaSocket:
         config = self.transport.config
         interval = config.resend_interval
         attempts = [0]
+        chain: list = [None]  # this chain's current Timer handle
 
         def check() -> None:
             event = self._pending.get(msg_id)
@@ -165,6 +171,7 @@ class HomaSocket:
             attempts[0] += 1
             if attempts[0] > config.max_resends:
                 self._pending.pop(msg_id, None)
+                self._response_timers.pop(msg_id, None)
                 event.fail(TransportError(f"RPC {msg_id} timed out"))
                 return
             core = self.transport.host.softirq_core_for_flow(
@@ -182,12 +189,20 @@ class HomaSocket:
 
             core.submit(self.costs.homa_grant_tx, retry)
             grown = interval * config.resend_backoff ** min(attempts[0], 16)
-            self.loop.call_later(
+            chain[0] = self.loop.timer_later(
                 min(grown, max(interval, config.max_resend_interval)), check
             )
 
         # First check after 2 intervals: give the RPC a full round trip.
-        self.loop.call_later(2 * interval, check)
+        chain[0] = self.loop.timer_later(2 * interval, check)
+        self._response_timers.setdefault(msg_id, []).append(chain)
+
+    def _cancel_response_timers(self, msg_id: int) -> None:
+        """RPC completed: every remaining fire would be a no-op, so cancel."""
+        for chain in self._response_timers.pop(msg_id, ()):
+            timer = chain[0]
+            if timer is not None:
+                timer.cancel()
 
     def recv_request(self, thread: AppThread) -> Generator[Any, Any, InboundRpc]:
         """Wait for the next inbound request (decrypt/copy on this thread).

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
-from repro.crypto.aead import new_aead
+from repro.crypto.aead import shared_aead
 from repro.errors import CryptoError, ProtocolError
 from repro.host.cpu import AppThread
 from repro.nic.tls_offload import RecordDescriptor, TlsOffloadDescriptor
@@ -61,13 +61,13 @@ class KtlsConnection:
         self.records_opened = 0
         self._rx_buf = bytearray()
         if mode is not None:
-            self._write = RecordProtection(new_aead(aead_kind, write_keys.key), write_keys.iv)
-            self._read = RecordProtection(new_aead(aead_kind, read_keys.key), read_keys.iv)
+            self._write = RecordProtection(shared_aead(aead_kind, write_keys.key), write_keys.iv)
+            self._read = RecordProtection(shared_aead(aead_kind, read_keys.key), read_keys.iv)
             self._tx_seq = 0
             if mode == "hw":
                 self._context_key = ("ktls", id(self))
                 conn.host.nic.flow_contexts.install(
-                    self._context_key, new_aead(aead_kind, write_keys.key), write_keys.iv
+                    self._context_key, shared_aead(aead_kind, write_keys.key), write_keys.iv
                 )
 
     # -- transmit ---------------------------------------------------------------

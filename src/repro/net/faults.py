@@ -197,15 +197,13 @@ class FaultInjector:
         if cfg.duplicate_rate and rng.random() < cfg.duplicate_rate:
             counters.duplicated.add()
             marks.append("dup")
-            copy = packet
             delay = rng.random() * cfg.duplicate_delay
-            self.loop.call_later(delay, lambda: deliver(copy))
+            self.loop.call_later(delay, deliver, packet)
         if cfg.reorder_rate and rng.random() < cfg.reorder_rate:
             counters.reordered.add()
             marks.append("reorder")
-            held = packet
             delay = rng.random() * cfg.reorder_delay
-            self.loop.call_later(delay, lambda: deliver(held))
+            self.loop.call_later(delay, deliver, packet)
         else:
             deliver(packet)
         counters.delivered.add()

@@ -66,7 +66,7 @@ class _Direction:
             return
         self.busy = True
         tx_time = (packet.wire_size * 8) / self.bandwidth
-        self.loop.call_later(tx_time, lambda: self._finish(packet))
+        self.loop.call_later(tx_time, self._finish, packet)
 
     def _dequeue(self) -> Optional[Packet]:
         for prio in range(NUM_PRIORITIES - 1, -1, -1):
@@ -85,9 +85,9 @@ class _Direction:
             receiver = self.receiver
             if receiver is not None:
                 if self.fault_injector is not None or self.tap is not None:
-                    self.loop.call_later(self.delay, lambda: self._deliver(packet))
+                    self.loop.call_later(self.delay, self._deliver, packet)
                 else:
-                    self.loop.call_later(self.delay, lambda: receiver(packet))
+                    self.loop.call_later(self.delay, receiver, packet)
         self._start_next()
 
     def _deliver(self, packet: Packet) -> None:

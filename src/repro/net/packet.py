@@ -51,9 +51,13 @@ class Packet:
         )
 
     def encode(self) -> bytes:
-        """Exact wire bytes (IPv4 + transport header + payload)."""
+        """Exact wire bytes (IPv4 + transport header + payload).
+
+        ``payload`` may be a memoryview slice from the zero-copy TX path;
+        the join materialises it.
+        """
         ip = replace(self.ip, total_len=self.size)
-        return ip.encode() + self.transport.encode() + self.payload
+        return b"".join((ip.encode(), self.transport.encode(), self.payload))
 
     @staticmethod
     def decode(data: bytes) -> "Packet":

@@ -135,12 +135,15 @@ class Switch:
                 injector = port.fault_injector
                 if injector is not None or port.tap is not None:
                     self.loop.call_later(
-                        port.delay, lambda: self._deliver(port, pkt)
+                        port.delay, self._deliver_to, (port, pkt)
                     )
                 else:
-                    self.loop.call_later(port.delay, lambda: receiver(pkt))
+                    self.loop.call_later(port.delay, receiver, pkt)
             self._start_next(port)
         self.loop.call_later(tx_time, finish)
+
+    def _deliver_to(self, port_and_packet: tuple) -> None:
+        self._deliver(*port_and_packet)
 
     def _deliver(self, port: _Port, packet: Packet) -> None:
         """Post-propagation delivery through the injector and/or tap."""

@@ -131,7 +131,10 @@ class Nic:
         packets = self._segment_to_packets(segment)
         self.packets_sent += len(packets)
         for pkt in packets:
-            self.loop.call_later(latency, lambda p=pkt: self.link.send(self.side, p))
+            self.loop.call_later(latency, self._wire_tx, pkt)
+
+    def _wire_tx(self, packet: Packet) -> None:
+        self.link.send(self.side, packet)
 
     def _segment_to_packets(self, segment: TsoSegment) -> list[Packet]:
         flow_key = (
@@ -158,4 +161,4 @@ class Nic:
         handler = self._rx_handler
         if handler is None:
             return
-        self.loop.call_later(self.costs.nic_fixed_latency, lambda: handler(packet))
+        self.loop.call_later(self.costs.nic_fixed_latency, handler, packet)

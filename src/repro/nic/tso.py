@@ -75,7 +75,9 @@ def split_segment(
     segments and emitted packets under ``{prefix}.tso.*``.
     """
     packets: list[Packet] = []
-    payload = segment.payload
+    # Zero-copy: packets carry memoryview slices of the segment payload;
+    # consumers materialise at AEAD open / capture / encode boundaries.
+    payload = memoryview(segment.payload)
     mss = segment.mss
     count = segment.num_packets
     for i in range(count):
@@ -118,8 +120,9 @@ def gso_split(
     if metrics is not None:
         metrics.counter(f"{prefix}.gso.splits").add()
     out = []
-    for off in range(0, len(segment.payload), step):
-        chunk = segment.payload[off : off + step]
+    payload = memoryview(segment.payload)
+    for off in range(0, len(payload), step):
+        chunk = payload[off : off + step]
         header = segment.header.with_fields(
             tso_offset=segment.header.tso_offset + off
         )

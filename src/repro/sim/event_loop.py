@@ -8,18 +8,52 @@ The model is a stripped-down simpy:
 - :class:`Process` drives a generator that ``yield``-s events; the process
   resumes when the yielded event fires.  A process is itself an event that
   succeeds with the generator's return value.
+- :class:`Timer` is a cancellable handle returned by
+  :meth:`EventLoop.timer_at` / :meth:`EventLoop.timer_later`.
 
 Determinism: ties in time are broken by insertion order, and nothing in the
 kernel consults wall time or global randomness, so a simulation with a fixed
 seed replays identically.
+
+Fast-path internals (all behaviour-preserving):
+
+- Heap entries are mutable 4-lists ``[when, seq, fn, arg]``.  ``seq`` is
+  unique, so list comparison never reaches ``fn`` and stays in C.  A
+  cancelled timer is a *tombstone*: its ``fn`` slot is set to ``None`` and
+  the entry is skipped when popped.  When tombstones outnumber live
+  entries the heap is compacted in place (filter + heapify) -- the
+  resulting pop order is unchanged because ``(when, seq)`` keys are
+  distinct.
+- ``call_soon`` appends to a FIFO ready deque instead of paying two
+  O(log n) heap operations.  Ready entries share the global ``seq``
+  counter, and the run loop merges the deque with same-timestamp heap
+  entries strictly by ``seq``, so the dispatch order is byte-identical to
+  the old all-heap scheme.
+- ``timeout()`` returns a slotted :class:`Event` subclass fired by a
+  module-level function -- no per-timeout closure allocation, which
+  matters because every modelled packet delay and CPU slice is a timeout.
 """
 
 from __future__ import annotations
 
-import heapq
+from collections import deque
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.errors import SimulationError
+
+# Sentinel: "call fn()" rather than "call fn(arg)".
+_NO_ARG = object()
+
+# Events dispatched across every loop in this process, for perf trajectory
+# bookkeeping (wall-clock benches report events/sec).  Deliberately a plain
+# module global: the simulator is single-threaded per process.
+_dispatched_total = 0
+
+
+def events_dispatched() -> int:
+    """Total events dispatched by all loops in this process."""
+    return _dispatched_total
 
 
 class Event:
@@ -35,7 +69,9 @@ class Event:
 
     def __init__(self, loop: "EventLoop"):
         self.loop = loop
-        self._callbacks: list[Callable[["Event"], None]] = []
+        # Lazily allocated: most timeouts complete with exactly one waiter,
+        # and many events are fired before anyone registers.
+        self._callbacks: Optional[list[Callable[["Event"], None]]] = None
         self._ok: Optional[bool] = None
         self.value: Any = None
         self._triggered = False
@@ -55,7 +91,9 @@ class Event:
     def add_callback(self, fn: Callable[["Event"], None]) -> None:
         """Run ``fn(self)`` when the event triggers (immediately if done)."""
         if self._triggered:
-            self.loop.call_soon(lambda: fn(self))
+            self.loop.call_soon(fn, self)
+        elif self._callbacks is None:
+            self._callbacks = [fn]
         else:
             self._callbacks.append(fn)
 
@@ -77,9 +115,21 @@ class Event:
         self._triggered = True
         self._ok = ok
         self.value = value
-        callbacks, self._callbacks = self._callbacks, []
-        for fn in callbacks:
-            self.loop.call_soon(lambda fn=fn: fn(self))
+        callbacks, self._callbacks = self._callbacks, None
+        if callbacks:
+            call_soon = self.loop.call_soon
+            for fn in callbacks:
+                call_soon(fn, self)
+
+
+class _Timeout(Event):
+    """A timeout event: carries its value, fired without a closure."""
+
+    __slots__ = ("_value",)
+
+
+def _fire_timeout(ev: _Timeout) -> None:
+    ev._trigger(True, ev._value)
 
 
 class Interrupt(Exception):
@@ -104,7 +154,10 @@ class Process(Event):
         super().__init__(loop)
         self._gen = gen
         self._waiting_on: Optional[Event] = None
-        loop.call_soon(lambda: self._step(None, None))
+        loop.call_soon(self._start)
+
+    def _start(self) -> None:
+        self._step(None, None)
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at its current yield."""
@@ -114,10 +167,11 @@ class Process(Event):
         if target is not None and not target._triggered:
             # Detach from the event we were waiting for; it may still fire
             # later but must no longer resume us.
-            try:
-                target._callbacks.remove(self._resume)
-            except ValueError:
-                pass
+            if target._callbacks is not None:
+                try:
+                    target._callbacks.remove(self._resume)
+                except ValueError:
+                    pass
         self._waiting_on = None
         self.loop.call_soon(lambda: self._step(None, Interrupt(cause)))
 
@@ -154,13 +208,63 @@ class Process(Event):
         target.add_callback(self._resume)
 
 
+class Timer:
+    """Cancellable handle for one scheduled callback.
+
+    Holds the heap entry itself, so :meth:`cancel` is O(1): it blanks the
+    entry's ``fn`` slot (turning it into a tombstone the run loop skips)
+    rather than searching the heap.  Cancelling after the callback fired,
+    or twice, is a no-op -- dispatch blanks the same slot.
+    """
+
+    __slots__ = ("_loop", "_entry")
+
+    def __init__(self, loop: "EventLoop", entry: list):
+        self._loop = loop
+        self._entry = entry
+
+    @property
+    def when(self) -> float:
+        """Scheduled virtual time (valid whether or not still active)."""
+        return self._entry[0]
+
+    @property
+    def active(self) -> bool:
+        """True while the callback has neither fired nor been cancelled."""
+        return self._entry[2] is not None
+
+    def cancel(self) -> bool:
+        """Cancel the callback; True if it had not yet fired.
+
+        Idempotent.  The heap entry stays queued as a tombstone and is
+        reclaimed lazily -- immediately compacting when tombstones
+        outnumber live entries, otherwise skipped at pop.
+        """
+        entry = self._entry
+        if entry[2] is None:
+            return False
+        entry[2] = None
+        entry[3] = _NO_ARG  # drop the arg reference right away
+        loop = self._loop
+        loop._tombstones += 1
+        if loop._tombstones * 2 > len(loop._queue):
+            loop._compact()
+        return True
+
+
 class EventLoop:
     """Deterministic virtual-time scheduler."""
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        # Heap entries are [when, seq, fn, arg] lists; arg is _NO_ARG for
+        # plain fn() calls.  Cancelled entries have fn=None (tombstones).
+        self._queue: list[list] = []
+        self._ready: deque = deque()  # (seq, fn, arg) at the current time
         self._seq = 0
+        self._tombstones = 0
+        # Events this loop has dispatched over its lifetime.
+        self.dispatched = 0
         # Per-loop observability hub (repro.obs.Observability) or None.
         # Instrumentation points across the stack guard on this, so an
         # unobserved loop runs the exact event sequence it always did.
@@ -173,22 +277,66 @@ class EventLoop:
 
     # -- scheduling --------------------------------------------------------
 
-    def call_at(self, when: float, fn: Callable[[], None]) -> None:
-        """Run ``fn()`` at virtual time ``when`` (>= now)."""
+    def call_at(self, when: float, fn: Callable[..., None], arg: Any = _NO_ARG) -> None:
+        """Run ``fn()`` -- or ``fn(arg)`` if given -- at virtual time ``when``."""
         if when < self._now - 1e-15:
             raise SimulationError(f"cannot schedule in the past ({when} < {self._now})")
-        self._seq += 1
-        heapq.heappush(self._queue, (when, self._seq, fn))
+        self._seq = seq = self._seq + 1
+        heappush(self._queue, [when, seq, fn, arg])
 
-    def call_later(self, delay: float, fn: Callable[[], None]) -> None:
+    def call_later(self, delay: float, fn: Callable[..., None], arg: Any = _NO_ARG) -> None:
         """Run ``fn()`` after ``delay`` seconds of virtual time."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        self.call_at(self._now + delay, fn)
+        self._seq = seq = self._seq + 1
+        heappush(self._queue, [self._now + delay, seq, fn, arg])
 
-    def call_soon(self, fn: Callable[[], None]) -> None:
-        """Run ``fn()`` at the current time, after already-queued events."""
-        self.call_at(self._now, fn)
+    def call_soon(self, fn: Callable[..., None], arg: Any = _NO_ARG) -> None:
+        """Run ``fn()`` at the current time, after already-queued events.
+
+        Fast path: appends to a FIFO ready queue (no heap traffic); the run
+        loop merges it with same-timestamp heap entries in ``seq`` order,
+        preserving the exact global dispatch order.
+        """
+        self._seq = seq = self._seq + 1
+        self._ready.append((seq, fn, arg))
+
+    def timer_at(self, when: float, fn: Callable[..., None], arg: Any = _NO_ARG) -> Timer:
+        """Like :meth:`call_at`, but returns a cancellable :class:`Timer`."""
+        if when < self._now - 1e-15:
+            raise SimulationError(f"cannot schedule in the past ({when} < {self._now})")
+        self._seq = seq = self._seq + 1
+        entry = [when, seq, fn, arg]
+        heappush(self._queue, entry)
+        timer = Timer.__new__(Timer)  # skip __init__: this path is hot
+        timer._loop = self
+        timer._entry = entry
+        return timer
+
+    def timer_later(self, delay: float, fn: Callable[..., None], arg: Any = _NO_ARG) -> Timer:
+        """Like :meth:`call_later`, but returns a cancellable :class:`Timer`."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self._seq = seq = self._seq + 1
+        entry = [self._now + delay, seq, fn, arg]
+        heappush(self._queue, entry)
+        timer = Timer.__new__(Timer)  # skip __init__: this path is hot
+        timer._loop = self
+        timer._entry = entry
+        return timer
+
+    def _compact(self) -> None:
+        """Drop tombstones and re-heapify, in place.
+
+        In place matters: ``run`` holds a reference to the queue list, so
+        the list object must survive compaction.  Pop order is unchanged --
+        ``(when, seq)`` keys are distinct, so any valid heap of the live
+        entries pops in the same total order.
+        """
+        queue = self._queue
+        queue[:] = [entry for entry in queue if entry[2] is not None]
+        heapify(queue)
+        self._tombstones = 0
 
     # -- event factories ----------------------------------------------------
 
@@ -198,8 +346,9 @@ class EventLoop:
 
     def timeout(self, delay: float, value: Any = None) -> Event:
         """An event that succeeds ``delay`` seconds from now."""
-        ev = Event(self)
-        self.call_later(delay, lambda: ev.succeed(value))
+        ev = _Timeout(self)
+        ev._value = value
+        self.call_later(delay, _fire_timeout, ev)
         return ev
 
     def process(self, gen: Generator[Event, Any, Any]) -> Process:
@@ -245,19 +394,62 @@ class EventLoop:
 
         With ``until`` set, stops once the clock would pass it (and advances
         the clock exactly to ``until``).  Returns the final virtual time.
-        ``max_events`` guards against runaway simulations.
+        ``max_events`` guards against runaway simulations (tombstone skips
+        do not count).
         """
+        queue = self._queue
+        ready = self._ready
+        pop = heappop
+        no_arg = _NO_ARG
         count = 0
-        while self._queue:
-            when, _seq, fn = self._queue[0]
-            if until is not None and when > until:
-                break
-            heapq.heappop(self._queue)
-            self._now = when
-            fn()
-            count += 1
-            if count > max_events:
-                raise SimulationError(f"exceeded {max_events} events; runaway simulation?")
+        # Ready entries run at the *current* time; if the window already
+        # ended they must wait for a later run, like the heap entries do.
+        ready_ok = until is None or self._now <= until
+        try:
+            while queue or ready:
+                if ready and ready_ok:
+                    # Dispatch from the ready FIFO unless a live or dead
+                    # heap entry at the current time was scheduled earlier.
+                    head = queue[0] if queue else None
+                    if head is None or head[0] > self._now or head[1] > ready[0][0]:
+                        _seq, fn, arg = ready.popleft()
+                        if arg is no_arg:
+                            fn()
+                        else:
+                            fn(arg)
+                        count += 1
+                        if count > max_events:
+                            raise SimulationError(
+                                f"exceeded {max_events} events; runaway simulation?"
+                            )
+                        continue
+                elif not queue:
+                    break
+                entry = pop(queue)
+                fn = entry[2]
+                if fn is None:  # cancelled: skip the tombstone
+                    self._tombstones -= 1
+                    continue
+                when = entry[0]
+                if until is not None and when > until:
+                    heappush(queue, entry)  # still pending for a later run
+                    break
+                entry[2] = None  # marks "fired": Timer.cancel becomes a no-op
+                arg, entry[3] = entry[3], no_arg
+                self._now = when
+                if arg is no_arg:
+                    fn()
+                else:
+                    fn(arg)
+                count += 1
+                if count > max_events:
+                    raise SimulationError(
+                        f"exceeded {max_events} events; runaway simulation?"
+                    )
+        finally:
+            self.dispatched += count
+            global _dispatched_total
+            _dispatched_total += count
         if until is not None and until > self._now:
             self._now = until
         return self._now
@@ -277,5 +469,9 @@ class EventLoop:
         return proc.value
 
     def pending_events(self) -> int:
-        """Number of not-yet-dispatched events (for tests)."""
-        return len(self._queue)
+        """Number of not-yet-dispatched events (for tests).
+
+        Tombstones are already-dead entries, not pending work, so they are
+        excluded; ready-queue entries count.
+        """
+        return len(self._queue) - self._tombstones + len(self._ready)

@@ -73,6 +73,12 @@ class TcpConnection:
         self._recover_seq = -1
         self._rto_armed = False
         self._rto = rto
+        self._rto_timer = None  # live Timer handle while armed
+        self._rto_deadline = 0.0  # virtual time the armed timer fires
+        # Deadline of a timer cancelled because everything was acked; a send
+        # before that instant re-arms at the same deadline (legacy timers
+        # were never cancelled, so new data inherited the old tick).
+        self._rto_resume_at: Optional[float] = None
         # Receive state.
         self.rcv_nxt = 0
         self._ooo: dict[int, bytes] = {}  # seq -> payload
@@ -199,7 +205,12 @@ class TcpConnection:
             self._transmit_chunk(chunk)
             sent.append(chunk)
         if self._unacked and not self._rto_armed:
-            self._arm_rto()
+            resume_at = self._rto_resume_at
+            self._rto_resume_at = None
+            if resume_at is not None and resume_at > self.loop.now:
+                self._arm_rto_at(resume_at)
+            else:
+                self._arm_rto()
         return sent
 
     def _transmit_chunk(self, chunk: TxChunk, resync: bool = False) -> None:
@@ -233,6 +244,7 @@ class TcpConnection:
         rto = self._rto
 
         def check() -> None:
+            self._rto_timer = None
             self._rto_armed = False
             if not self._unacked:
                 return
@@ -247,7 +259,38 @@ class TcpConnection:
                 self._rto = self.base_rto
             self._arm_rto()
 
-        self.loop.call_later(rto, check)
+        self._rto_deadline = self.loop.now + rto
+        self._rto_timer = self.loop.timer_later(rto, check)
+
+    def _arm_rto_at(self, deadline: float) -> None:
+        """Re-arm a cancelled RTO at its original deadline.
+
+        At that instant the legacy timer always landed in its
+        made-progress branch (``snd_una`` had advanced past the snapshot
+        before the cancel point), which reset the backoff and re-armed --
+        so that is all this resume timer has to reproduce.
+        """
+        self._rto_armed = True
+
+        def check() -> None:
+            self._rto_timer = None
+            self._rto_armed = False
+            if not self._unacked:
+                return
+            self._rto = self.base_rto
+            self._arm_rto()
+
+        self._rto_deadline = deadline
+        self._rto_timer = self.loop.timer_at(deadline, check)
+
+    def _pause_rto(self) -> None:
+        """All data acked: cancel the timer rather than let it fire dead."""
+        timer = self._rto_timer
+        if timer is not None:
+            timer.cancel()
+            self._rto_timer = None
+            self._rto_armed = False
+            self._rto_resume_at = self._rto_deadline
 
     def _make_retransmit(self, chunk: TxChunk):
         def do() -> None:
@@ -371,6 +414,8 @@ class TcpConnection:
             self._rto = self.base_rto
             while self._unacked and self._unacked[0].end <= ack:
                 self._unacked.popleft()
+            if not self._unacked:
+                self._pause_rto()
             # Window opened: push more, charging this softirq context.
             sent = self._push()
             if sent:

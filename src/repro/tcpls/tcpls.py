@@ -15,7 +15,7 @@ from __future__ import annotations
 import struct
 from typing import Any, Generator, Optional
 
-from repro.crypto.aead import new_aead
+from repro.crypto.aead import shared_aead
 from repro.errors import ProtocolError
 from repro.host.cpu import AppThread
 from repro.tcp.connection import TcpConnection
@@ -52,8 +52,8 @@ class TcplsConnection:
         # Per-stream nonce state: XOR the record counter with a stream salt,
         # the custom construction that breaks AO offload.
         self._stream_salt = 0x5A5A5A5A
-        self._write = RecordProtection(new_aead(aead_kind, write_keys.key), write_keys.iv)
-        self._read = RecordProtection(new_aead(aead_kind, read_keys.key), read_keys.iv)
+        self._write = RecordProtection(shared_aead(aead_kind, write_keys.key), write_keys.iv)
+        self._read = RecordProtection(shared_aead(aead_kind, read_keys.key), read_keys.iv)
         self._tx_seq = 0
         self._rx_seq = 0
         self._tx_offset = 0

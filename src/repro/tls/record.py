@@ -53,8 +53,8 @@ def encode_record_header(ciphertext_len: int) -> bytes:
     )
 
 
-def parse_record_header(data: bytes) -> tuple[int, int]:
-    """Returns (outer content type, ciphertext length)."""
+def parse_record_header(data) -> tuple[int, int]:
+    """Returns (outer content type, ciphertext length); accepts bytes-like."""
     if len(data) < RECORD_HEADER_SIZE:
         raise ProtocolError("truncated record header")
     if (data[1] << 8 | data[2]) != LEGACY_VERSION:
@@ -74,13 +74,16 @@ class RecordProtection:
             raise CryptoError(f"IV must be {aead.nonce_size} bytes")
         self._aead = aead
         self._iv = iv
+        # The XOR with pad64(seqno) only touches the IV's low 8 bytes, so
+        # the whole nonce computation is one int XOR over this value.
+        self._iv_int = int.from_bytes(iv, "big")
+        self._iv_len = len(iv)
         self._next_seqno = 0  # used only when the caller does not pass one
 
     def nonce_for(self, seqno: int) -> bytes:
         if not 0 <= seqno < (1 << 64):
             raise ProtocolError(f"record seqno out of 64-bit range: {seqno}")
-        pad = bytes(len(self._iv) - 8) + seqno.to_bytes(8, "big")
-        return bytes(a ^ b for a, b in zip(self._iv, pad))
+        return (self._iv_int ^ seqno).to_bytes(self._iv_len, "big")
 
     def seal(
         self,
@@ -102,16 +105,20 @@ class RecordProtection:
         if seqno is None:
             seqno = self._next_seqno
             self._next_seqno += 1
-        inner = payload + bytes((content_type,)) + bytes(padding)
+        # join() accepts memoryviews, so zero-copy payload slices
+        # materialise exactly here -- the AEAD boundary.
+        inner = b"".join((payload, bytes((content_type,)), bytes(padding)))
         header = encode_record_header(len(inner) + TAG_SIZE)
         ciphertext = self._aead.seal(self.nonce_for(seqno), inner, aad=header)
         return header + ciphertext
 
-    def open(self, record: bytes, seqno: Optional[int] = None) -> TLSRecord:
+    def open(self, record, seqno: Optional[int] = None) -> TLSRecord:
         """Decrypt one full record; raises AuthenticationError on tampering.
 
-        Strips inner padding and recovers the true content type.  With no
-        explicit ``seqno`` the internal counter is used and advanced only on
+        ``record`` may be any bytes-like object (the zero-copy decode path
+        passes memoryview slices of the reassembled message).  Strips inner
+        padding and recovers the true content type.  With no explicit
+        ``seqno`` the internal counter is used and advanced only on
         success, matching TLS/TCP's reject-then-desynchronise behaviour.
         """
         explicit = seqno is not None

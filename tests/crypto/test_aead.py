@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.crypto.aead import FastAead, new_aead
+from repro.crypto.aead import FastAead, new_aead, shared_aead
 from repro.crypto.gcm import AesGcm
 from repro.errors import AuthenticationError, CryptoError
 
@@ -74,3 +74,56 @@ class TestFastAead:
     def test_roundtrip_property(self, plaintext, aad):
         f = FastAead(b"\x05" * 16)
         assert f.open(NONCE, f.seal(NONCE, plaintext, aad), aad) == plaintext
+
+
+class TestFastAeadMemo:
+    """The seal->open memo must be invisible to tampering and nonce reuse."""
+
+    def test_tamper_on_shared_instance_detected(self):
+        # One instance sealing and opening (the shared_aead topology): the
+        # memo matches only byte-identical records, so every tamper falls
+        # through to the full verify path.
+        f = FastAead(bytes(16))
+        sealed = f.seal(NONCE, b"payload" * 100, b"aad")
+        assert f.open(NONCE, sealed, b"aad") == b"payload" * 100  # memo hit
+        for i in (0, len(sealed) // 2, len(sealed) - 1):
+            bad = bytearray(sealed)
+            bad[i] ^= 1
+            with pytest.raises(AuthenticationError):
+                f.open(NONCE, bytes(bad), b"aad")
+
+    def test_memo_checks_aad(self):
+        f = FastAead(bytes(16))
+        sealed = f.seal(NONCE, b"payload", b"right")
+        with pytest.raises(AuthenticationError):
+            f.open(NONCE, sealed, b"wrong")
+
+    def test_memo_overwrite_still_opens_older_record(self):
+        # Re-sealing under the same nonce evicts the memo entry; the older
+        # record must still open via the full decrypt path.
+        f = FastAead(bytes(16))
+        first = f.seal(NONCE, b"first message")
+        f.seal(NONCE, b"second message")
+        assert f.open(NONCE, first) == b"first message"
+
+    def test_memoryview_inputs_match_memo(self):
+        f = FastAead(bytes(16))
+        sealed = f.seal(NONCE, memoryview(b"zero-copy plaintext"), b"aad")
+        assert f.open(memoryview(NONCE), memoryview(sealed), b"aad") == (
+            b"zero-copy plaintext"
+        )
+
+
+class TestSharedAead:
+    def test_same_key_shares_instance(self):
+        assert shared_aead("fast", b"\x09" * 16) is shared_aead("fast", b"\x09" * 16)
+
+    def test_different_key_or_kind_distinct(self):
+        a = shared_aead("fast", b"\x0a" * 16)
+        assert shared_aead("fast", b"\x0b" * 16) is not a
+        assert shared_aead("aes-128-gcm", b"\x0a" * 16) is not a
+
+    def test_shared_instance_roundtrips(self):
+        sealer = shared_aead("fast", b"\x0c" * 16)
+        opener = shared_aead("fast", b"\x0c" * 16)
+        assert opener.open(NONCE, sealer.seal(NONCE, b"hello", b"x"), b"x") == b"hello"

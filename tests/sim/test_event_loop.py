@@ -240,6 +240,106 @@ class TestProcesses:
             loop.run_process(body())
 
 
+class TestTimers:
+    def test_cancel_before_fire_suppresses_callback(self):
+        loop = EventLoop()
+        fired = []
+        timer = loop.timer_later(1.0, lambda: fired.append("t"))
+        assert timer.active
+        assert timer.cancel() is True
+        assert not timer.active
+        loop.run()
+        assert fired == []
+
+    def test_cancel_after_fire_is_noop(self):
+        loop = EventLoop()
+        fired = []
+        timer = loop.timer_later(1.0, lambda: fired.append("t"))
+        loop.run()
+        assert fired == ["t"]
+        assert not timer.active
+        assert timer.cancel() is False  # already fired: nothing to cancel
+
+    def test_double_cancel_idempotent(self):
+        loop = EventLoop()
+        timer = loop.timer_later(1.0, lambda: None)
+        assert timer.cancel() is True
+        assert timer.cancel() is False
+        loop.run()
+        assert loop.pending_events() == 0
+
+    def test_timer_at_passes_arg_and_when(self):
+        loop = EventLoop()
+        got = []
+        timer = loop.timer_at(2.5, got.append, "payload")
+        assert timer.when == 2.5
+        loop.run()
+        assert got == ["payload"]
+        assert loop.now == 2.5
+
+    def test_cancelled_timers_do_not_count_as_pending(self):
+        loop = EventLoop()
+        timers = [loop.timer_later(float(i + 1), lambda: None) for i in range(8)]
+        for t in timers[::2]:
+            t.cancel()
+        assert loop.pending_events() == 4
+
+    def test_compaction_preserves_dispatch_order(self):
+        # Cancel more than half the queue so the tombstone threshold trips
+        # compaction, then check the survivors fire in the exact order the
+        # uncompacted heap would have produced.
+        loop = EventLoop()
+        order = []
+        timers = []
+        for i in range(100):
+            timers.append(loop.timer_later(float(i % 10), order.append, i))
+        for i, t in enumerate(timers):
+            if i % 4 != 0:
+                t.cancel()  # 75% tombstones: triggers in-place compaction
+        assert loop.pending_events() == 25
+        loop.run()
+        expected = sorted(
+            (i for i in range(100) if i % 4 == 0), key=lambda i: (i % 10, i)
+        )
+        assert order == expected
+
+    def test_compaction_determinism_across_runs(self):
+        def simulate():
+            loop = EventLoop()
+            trace = []
+            live = {}
+
+            def fire(tag):
+                trace.append((round(loop.now, 9), tag))
+                # Rearm and cancel from inside callbacks, interleaving
+                # tombstone creation with dispatch.
+                if tag < 200:
+                    live[tag + 100] = loop.timer_later(0.5, fire, tag + 100)
+                peer = live.pop(tag ^ 1, None)
+                if peer is not None:
+                    peer.cancel()
+
+            for i in range(100):
+                live[i] = loop.timer_later(float(i % 7) * 0.1, fire, i)
+            loop.run()
+            return trace
+
+        assert simulate() == simulate()
+
+    def test_cancel_interleaved_with_call_soon_order(self):
+        # The ready FIFO and the heap share the seq counter; cancelling
+        # heap entries must not disturb the merged dispatch order.
+        loop = EventLoop()
+        order = []
+        loop.call_soon(order.append, "s1")
+        t = loop.timer_at(0.0, order.append, "t1")
+        loop.call_soon(order.append, "s2")
+        loop.timer_at(0.0, order.append, "t2")
+        t.cancel()
+        loop.run()
+        assert order == ["s1", "s2", "t2"]
+
+
 class TestDeterminism:
     def test_identical_runs_produce_identical_traces(self):
         def simulate():
