@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 from repro.bench import (
     ablations,
+    churn,
     fig5,
     fig6,
     fig7,
@@ -54,7 +55,11 @@ EXPERIMENTS = {
     "ablation-acks": ablations.run_ack_batching_ablation,
     "ablation-bits": ablations.run_bit_split_ablation,
     "perf": perf.run,
+    "churn": churn.run,
 }
+
+# Experiments whose run() accepts quick=True for a scaled-down CI pass.
+_QUICK_AWARE = {"perf", "churn"}
 
 
 @dataclass
@@ -79,7 +84,7 @@ def run_experiment(name: str, quick: bool = False) -> ExperimentResult:
     fn = EXPERIMENTS[name]
     events0 = events_dispatched()
     start = time.perf_counter()
-    report = fn(quick=True) if (name == "perf" and quick) else fn()
+    report = fn(quick=True) if (name in _QUICK_AWARE and quick) else fn()
     wall_s = time.perf_counter() - start
     events = events_dispatched() - events0
     report_json = report.to_json()

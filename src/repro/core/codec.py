@@ -79,6 +79,21 @@ class SmtCodec:
     def max_message_ids(self) -> int:
         return self.session.allocation.max_message_ids
 
+    def alloc_msg_id(self):
+        """Managed-session ID allocation (None → use the transport counter)."""
+        space = self.session.id_space
+        return None if space is None else space.alloc()
+
+    def tx_gate(self):
+        """Event blocking new calls while the session rekeys (else None)."""
+        return self.session.tx_gate_event
+
+    def rpc_started(self) -> None:
+        self.session.rpc_started()
+
+    def rpc_finished(self) -> None:
+        self.session.rpc_finished()
+
     def accept_message(self, msg_id: int) -> bool:
         return self.session.accept_message(msg_id)
 

@@ -72,10 +72,15 @@ class SmtEndpoint:
         allocation: BitAllocation = BitAllocation(),
         aead_kind: str = "aes-128-gcm",
         cost_model: Optional[HandshakeCostModel] = None,
+        ctrl=None,
     ):
         self.host = host
         self.loop = host.loop
         self.port = port
+        # Optional session-lifecycle control plane (repro.ctrl): manages
+        # key pools, lane-based message-ID spaces, rekeying and the
+        # bounded session table.  None → classic unmanaged behaviour.
+        self.ctrl = ctrl
         self.offload = offload
         self.allocation = allocation
         self.aead_kind = aead_kind
@@ -101,6 +106,8 @@ class SmtEndpoint:
         self._handshake_socket = HomaSocket(self.transport, hs_port)
         self._pending_server_hs: dict[tuple[int, int], tuple[ServerHandshake, int]] = {}
         self.tickets: dict[tuple[int, int], list[SessionTicket]] = {}
+        if ctrl is not None:
+            ctrl.adopt(self)
 
     # -- codec/session plumbing ---------------------------------------------------
 
@@ -131,6 +138,20 @@ class SmtEndpoint:
             # per-peer here, and id()-based keys must never leak).
             codec.bind_obs(obs, f"{self.host.name}.smt.peer{peer_addr}")
         self._codecs[(peer_addr, peer_port)] = codec
+        if self.ctrl is not None:
+            self.ctrl.on_session_registered(self, peer_addr, peer_port, session)
+
+    def close_session(self, peer_addr: int, peer_port: int) -> bool:
+        """Tear down one peer's session (eviction or explicit close)."""
+        session = self._sessions.pop((peer_addr, peer_port), None)
+        if session is None:
+            return False
+        self._codecs.pop((peer_addr, peer_port), None)
+        self.transport.forget_delivered(peer_addr, peer_port)
+        self.socket.forget_peer(peer_addr)
+        if self.ctrl is not None:
+            self.ctrl.on_session_closed(self, peer_addr, peer_port)
+        return True
 
     def _build_session(self, result, role: str) -> SmtSession:
         client_keys, server_keys = result.traffic_keys()
@@ -168,7 +189,12 @@ class SmtEndpoint:
                 rpc = yield from self._handshake_socket.recv_request(thread)
                 kind, peer_data_port, body = _unwrap(rpc.payload)
                 hs_key = (rpc.peer_addr, peer_data_port)
-                if kind == _MSG_CHLO:
+                if kind == _MSG_REKEY:
+                    yield from self._serve_rekey(thread, rpc, peer_data_port, body)
+                elif kind == _MSG_CHLO:
+                    if self.ctrl is not None and not self.ctrl.admit_handshake():
+                        yield from self._handshake_socket.reply(thread, rpc, _HS_REFUSED)
+                        continue
                     server_hs = ServerHandshake(hs_config_factory(), credentials, cache)
                     obs = self.loop.obs
                     if obs is not None:
@@ -197,6 +223,47 @@ class SmtEndpoint:
 
         return self.loop.process(responder())
 
+    def _serve_rekey(
+        self, thread: AppThread, rpc, peer_data_port: int, body: bytes
+    ) -> Generator[Any, Any, None]:
+        """Answer a client-initiated rekey on a drained session (§4.5.2).
+
+        Mode ``REKEY_UPDATE`` rolls both directions forward with the
+        deterministic key-update derivation; ``REKEY_FS`` performs a fresh
+        ECDH for a forward-secret key.  Either way the message-ID space
+        resets with the keys.
+        """
+        from repro.core.zero_rtt import derive_fs_keys, derive_update_keys
+        from repro.crypto.ec import ECPoint
+
+        session = self._sessions.get((rpc.peer_addr, peer_data_port))
+        if session is None:
+            raise ProtocolError(
+                f"rekey request for unknown session {rpc.peer_addr}:{peer_data_port}"
+            )
+        mode = body[0]
+        if mode == REKEY_UPDATE:
+            new_write = derive_update_keys(session.write_keys)
+            new_read = derive_update_keys(session.read_keys)
+            yield from self._handshake_socket.reply(thread, rpc, b"\x01")
+            self.transport.forget_delivered(rpc.peer_addr, peer_data_port)
+            session.rekey(new_write, new_read)
+        elif mode == REKEY_FS:
+            if self.ctrl is None:
+                raise ProtocolError("fs rekey needs a control plane as key source")
+            client_share = bytes(body[1:])
+            eph, pooled = self.ctrl.take_ecdh()
+            if not pooled:
+                yield from thread.work(self.cost_model.op_cost_for("S2.1"))
+            shared = eph.shared_secret(ECPoint.decode(client_share))
+            yield from thread.work(self.cost_model.op_cost_for("S2.2"))
+            fs_cw, fs_sw = derive_fs_keys(shared, client_share, eph.public_bytes())
+            yield from self._handshake_socket.reply(thread, rpc, eph.public_bytes())
+            self.transport.forget_delivered(rpc.peer_addr, peer_data_port)
+            session.rekey(fs_sw, fs_cw)
+        else:
+            raise ProtocolError(f"unknown rekey mode {mode}")
+
     # -- client side ------------------------------------------------------------------
 
     def connect(
@@ -223,6 +290,10 @@ class SmtEndpoint:
         server_flight = yield from self._handshake_socket.call(
             thread, server_addr, HANDSHAKE_PORT, _wrap(_MSG_CHLO, self.port, chlo)
         )
+        if server_flight == _HS_REFUSED:
+            raise ProtocolError(
+                f"server {server_addr} refused handshake (admission backpressure)"
+            )
         finished = client_hs.process_server_flight(server_flight)
         yield from thread.work(self.cost_model.total(client_hs.trace[charged:]))
         session = self._build_session(client_hs.result, "client")
@@ -257,8 +328,15 @@ class ZeroRttMixin:
     server's ephemeral share arrives.
     """
 
-    def serve_zero_rtt(self, thread: AppThread, zserver, pregenerate: bool = True):
-        """Answer 0-RTT ClientHellos with ``zserver`` (ZeroRttServer)."""
+    def serve_zero_rtt(
+        self, thread: AppThread, zserver, pregenerate: bool = True, keypool=None
+    ):
+        """Answer 0-RTT ClientHellos with ``zserver`` (ZeroRttServer).
+
+        ``keypool`` (optional, duck-typed ``take()``) supplies the
+        forward-secrecy ephemeral off the critical path; a miss falls back
+        to inline generation and charges S2.1.
+        """
         from repro.core.zero_rtt import derive_fs_keys
         from repro.crypto.ec import ECPoint
         from repro.crypto.ecdh import EcdhKeyPair
@@ -267,13 +345,21 @@ class ZeroRttMixin:
             while True:
                 rpc = yield from self._handshake_socket.recv_request(thread)
                 kind, peer_data_port, body = _unwrap(rpc.payload)
+                if kind == _MSG_REKEY:
+                    yield from self._serve_rekey(thread, rpc, peer_data_port, body)
+                    continue
                 if kind != _MSG_ZRTT:
                     raise ProtocolError(f"unexpected handshake kind {kind}")
+                if self.ctrl is not None and not self.ctrl.admit_handshake():
+                    yield from self._handshake_socket.reply(thread, rpc, _HS_REFUSED)
+                    continue
                 want_fs = bool(body[0])
                 chlo_random = body[1:33]
                 client_share = body[33:98]
+                client_share_fp = bytes(body[98:106]) if len(body) > 98 else None
                 cw, sw, trace = zserver.accept_zero_rtt(
-                    client_share, chlo_random, now=self.loop.now
+                    client_share, chlo_random, now=self.loop.now,
+                    client_share_fp=client_share_fp,
                 )
                 # Reply generation and key-confirmation bookkeeping happen
                 # for both variants (SHLO-style reply + Finished-style
@@ -291,10 +377,12 @@ class ZeroRttMixin:
                 )
                 self.register_session(rpc.peer_addr, peer_data_port, session)
                 if want_fs:
-                    eph = EcdhKeyPair.generate(zserver._rng)
-                    if not pregenerate:
-                        # §4.5.1 pre-generation eliminates S2.1 otherwise.
-                        yield from thread.work(self.cost_model.op_cost_for("S2.1"))
+                    eph = keypool.take() if keypool is not None else None
+                    if eph is None:
+                        eph = EcdhKeyPair.generate(zserver._rng)
+                        if not pregenerate:
+                            # §4.5.1 pre-generation eliminates S2.1 otherwise.
+                            yield from thread.work(self.cost_model.op_cost_for("S2.1"))
                     shared = eph.shared_secret(ECPoint.decode(client_share))
                     # The fs upgrade costs one extra server-side ECDH.
                     yield from thread.work(self.cost_model.op_cost_for("S2.2"))
@@ -320,11 +408,18 @@ class ZeroRttMixin:
         forward_secrecy: bool = False,
         rng=None,
         pregenerated=None,
+        share_fingerprint: bool = False,
     ) -> Generator[Any, Any, HandshakeStats]:
-        """Derive the SMT-key and (optionally) upgrade to forward secrecy."""
+        """Derive the SMT-key and (optionally) upgrade to forward secrecy.
+
+        ``share_fingerprint=True`` appends the ticket share's fingerprint
+        to the ClientHello so a freshly-rotated server can honour the
+        previous share inside its grace window (§4.5.3).
+        """
         import random as _random
 
         from repro.core.zero_rtt import ZeroRttClient, derive_fs_keys
+        from repro.core.zero_rtt import share_fingerprint as _share_fp
         from repro.crypto.ec import ECPoint
 
         started = self.loop.now
@@ -345,10 +440,16 @@ class ZeroRttMixin:
         self.register_session(server_addr, server_data_port, session)
         keys_ready = self.loop.now  # 0-RTT: encrypted data may flow already
         body = bytes([int(forward_secrecy)]) + chlo_random + share
+        if share_fingerprint:
+            body += _share_fp(ticket.long_term_share)
         reply = yield from self._handshake_socket.call(
             thread, server_addr, HANDSHAKE_PORT,
             _wrap(_MSG_ZRTT, self.port, body),
         )
+        if reply == _HS_REFUSED:
+            raise ProtocolError(
+                f"server {server_addr} refused handshake (admission backpressure)"
+            )
         # Processing the server's confirming flight (SHLO-style reply +
         # Finished-style confirmation) happens for both variants.
         yield from thread.work(
@@ -375,6 +476,15 @@ SmtEndpoint.connect_zero_rtt = ZeroRttMixin.connect_zero_rtt
 _MSG_CHLO = 1
 _MSG_FINISHED = 2
 _MSG_ZRTT = 3
+_MSG_REKEY = 4
+
+# Rekey modes (body[0] of a _MSG_REKEY request).
+REKEY_UPDATE = 0  # deterministic key-update derivation, no extra ECDH
+REKEY_FS = 1  # fresh ECDH exchange for a forward-secret key
+
+# Admission backpressure: the sentinel flight a server returns instead of
+# a ServerHello when its session table refuses new handshakes.
+_HS_REFUSED = b"\x00SMT-HS-REFUSED"
 
 
 def _wrap(kind: int, data_port: int, body: bytes) -> bytes:

@@ -72,6 +72,91 @@ class BitAllocation:
         )
 
 
+class MessageIdSpace:
+    """A session's slice of the message-ID space with a rekey watermark.
+
+    Homa RPC ids are even (responses ride ``id | 1``), so the space hands
+    out even ids from ``first_msg_id`` up to an exclusive ``limit``.  When
+    allocation crosses ``high_watermark`` the ``on_high_watermark`` hook
+    fires once per epoch — the control plane uses it to schedule a
+    proactive rekey *before* exhaustion would raise (paper §4.5.2).
+    ``reset()`` returns to the start of the slice after a rekey.
+    """
+
+    __slots__ = (
+        "allocation",
+        "first_msg_id",
+        "limit",
+        "high_watermark",
+        "on_high_watermark",
+        "_next",
+        "_watermark_fired",
+        "epoch",
+        "resets",
+        "total_allocated",
+    )
+
+    def __init__(
+        self,
+        allocation: BitAllocation,
+        first_msg_id: int = 2,
+        capacity: int | None = None,
+        watermark_fraction: float = 0.75,
+    ):
+        if first_msg_id & 1:
+            raise ProtocolError(f"first_msg_id must be even, got {first_msg_id}")
+        max_ids = allocation.max_message_ids
+        limit = max_ids if capacity is None else first_msg_id + capacity
+        if not first_msg_id + 2 <= limit <= max_ids:
+            raise ProtocolError(
+                f"message-ID slice [{first_msg_id}, {limit}) does not fit "
+                f"{allocation.msg_id_bits}-bit space"
+            )
+        if not 0.0 < watermark_fraction <= 1.0:
+            raise ProtocolError(
+                f"watermark_fraction must be in (0, 1], got {watermark_fraction}"
+            )
+        self.allocation = allocation
+        self.first_msg_id = first_msg_id
+        self.limit = limit
+        span = limit - first_msg_id
+        self.high_watermark = first_msg_id + (int(span * watermark_fraction) & ~1)
+        self.on_high_watermark = None
+        self._next = first_msg_id
+        self._watermark_fired = False
+        self.epoch = 0
+        self.resets = 0
+        self.total_allocated = 0
+
+    @property
+    def next_msg_id(self) -> int:
+        return self._next
+
+    def alloc(self) -> int:
+        """Next even message id; fires the watermark hook, raises at the end."""
+        msg_id = self._next
+        if msg_id | 1 >= self.limit:
+            raise ProtocolError(
+                f"message-ID space exhausted (epoch {self.epoch}: "
+                f"[{self.first_msg_id}, {self.limit}))"
+            )
+        self._next = msg_id + 2
+        self.total_allocated += 1
+        if not self._watermark_fired and self._next >= self.high_watermark:
+            self._watermark_fired = True
+            hook = self.on_high_watermark
+            if hook is not None:
+                hook()
+        return msg_id
+
+    def reset(self) -> None:
+        """Restart the slice after a rekey (fresh keys, fresh ID space)."""
+        self._next = self.first_msg_id
+        self._watermark_fired = False
+        self.epoch += 1
+        self.resets += 1
+
+
 def tradeoff_curve(record_payload: int) -> list[tuple[int, int, int]]:
     """(msg_id_bits, max message IDs, max message bytes) for every split.
 

@@ -62,6 +62,13 @@ class SmtSession:
         self.rekeys = 0
         self.obs = None
         self.obs_name = name
+        # Control-plane hooks (all optional; None when the session is
+        # unmanaged, which keeps the default paths byte-identical).
+        self.id_space = None  # MessageIdSpace slice assigned by repro.ctrl
+        self.inflight_rpcs = 0
+        self.tx_gate_event = None  # Event blocking new calls during a rekey
+        self.drain_waiter = None  # Event fired when inflight_rpcs drains to 0
+        self.on_activity = None  # callback for LRU touch on send/receive
         if offload and nic is None:
             raise ProtocolError("offload sessions need the NIC reference")
 
@@ -80,6 +87,27 @@ class SmtSession:
         m.gauge(f"{prefix}.resyncs_issued", lambda: self.resyncs_issued)
         m.gauge(f"{prefix}.rekeys", lambda: self.rekeys)
         m.gauge(f"{prefix}.ids_tracked", lambda: len(self._seen_ids))
+
+    # -- control-plane hooks ---------------------------------------------------
+
+    @property
+    def write_keys(self) -> TrafficKeys:
+        return self._write_keys
+
+    @property
+    def read_keys(self) -> TrafficKeys:
+        return self._read_keys
+
+    def rpc_started(self) -> None:
+        self.inflight_rpcs += 1
+        if self.on_activity is not None:
+            self.on_activity()
+
+    def rpc_finished(self) -> None:
+        self.inflight_rpcs -= 1
+        if self.inflight_rpcs == 0 and self.drain_waiter is not None:
+            waiter, self.drain_waiter = self.drain_waiter, None
+            waiter.succeed()
 
     # -- key management --------------------------------------------------------
 
@@ -101,6 +129,8 @@ class SmtSession:
         self._watermark = -1
         self._max_seen = -1
         self._queue_expected.clear()
+        if self.id_space is not None:
+            self.id_space.reset()
         self.rekeys += 1
         if self.obs is not None:
             with self.obs.tracer.trace_span(
@@ -115,6 +145,8 @@ class SmtSession:
         if msg_id <= self._watermark or msg_id in self._seen_ids:
             self.replays_rejected += 1
             return False
+        if self.on_activity is not None:
+            self.on_activity()
         self._seen_ids.add(msg_id)
         self._max_seen = max(self._max_seen, msg_id)
         # Prune with hysteresis: once the exact set doubles the window,

@@ -16,6 +16,7 @@ which also resets the message-ID space (§4.5.2).
 
 from __future__ import annotations
 
+import hashlib
 import random
 import struct
 from dataclasses import dataclass
@@ -60,6 +61,26 @@ class SmtTicket:
         return leaf
 
 
+def share_fingerprint(share: bytes) -> bytes:
+    """Short identifier for a long-term share (rotation grace, §4.5.3).
+
+    Clients may attach it to a 0-RTT ClientHello so the server knows
+    *which* share the SMT-key was derived against -- current or previous.
+    """
+    return hashlib.sha256(b"smt share fp" + share).digest()[:8]
+
+
+def derive_update_keys(keys: TrafficKeys) -> TrafficKeys:
+    """Deterministic key-update derivation (rekey without a round trip).
+
+    Both sides apply it to their own write/read keys, mirroring the TLS
+    1.3 ``key_update`` chain: next-generation keys from the current ones.
+    """
+    prk = hkdf_extract(b"smt key update", keys.key + keys.iv)
+    secret = hkdf_expand_label(prk, "smt upd", b"", 32)
+    return TrafficKeys.from_secret(secret)
+
+
 def derive_smt_keys(
     shared_secret: bytes, client_share: bytes, server_share: bytes
 ) -> tuple[TrafficKeys, TrafficKeys]:
@@ -87,13 +108,21 @@ class ZeroRttServer:
         signing_key,
         rng: random.Random,
         lifetime: float = DEFAULT_TICKET_LIFETIME,
+        grace_window: float = 0.0,
     ):
         self.server_name = server_name
         self.chain = chain
         self._signing_key = signing_key
         self._rng = rng
         self.lifetime = lifetime
+        # Rotation grace (§4.5.3): after a rotation, 0-RTT attempts built
+        # against the *previous* share are still accepted for this long,
+        # covering clients whose cached ticket raced the republish.
+        self.grace_window = grace_window
         self.long_term: Optional[EcdhKeyPair] = None
+        self.previous: Optional[EcdhKeyPair] = None
+        self.previous_grace_until = -1.0
+        self.grace_accepts = 0
         self.rotated_at = -1.0
         # Replay defence for 0-RTT ClientHellos (§4.5.3: "servers can
         # record the CHLO random value").
@@ -102,6 +131,9 @@ class ZeroRttServer:
 
     def rotate(self, now: float) -> SmtTicket:
         """Generate a fresh long-term share and mint its ticket."""
+        if self.long_term is not None and self.grace_window > 0:
+            self.previous = self.long_term
+            self.previous_grace_until = now + self.grace_window
         self.long_term = EcdhKeyPair.generate(self._rng)
         self.rotated_at = now
         self._seen_chlo_randoms.clear()
@@ -119,20 +151,45 @@ class ZeroRttServer:
         )
 
     def accept_zero_rtt(
-        self, client_share_bytes: bytes, chlo_random: bytes, now: float
+        self,
+        client_share_bytes: bytes,
+        chlo_random: bytes,
+        now: float,
+        client_share_fp: Optional[bytes] = None,
     ) -> tuple[TrafficKeys, TrafficKeys, list[TraceOp]]:
-        """Process a 0-RTT ClientHello; returns direction keys + trace ops."""
+        """Process a 0-RTT ClientHello; returns direction keys + trace ops.
+
+        ``client_share_fp`` (optional) names the long-term share the client
+        derived against; a fingerprint matching the pre-rotation share is
+        honoured inside the grace window and refused outside it.
+        """
         if self.long_term is None or now > self.rotated_at + self.lifetime:
             raise ProtocolError("no valid long-term share; rotate() first")
+        long_term = self.long_term
+        grace = False
+        if client_share_fp is not None and client_share_fp != share_fingerprint(
+            long_term.public_bytes()
+        ):
+            if (
+                self.previous is not None
+                and client_share_fp == share_fingerprint(self.previous.public_bytes())
+                and now <= self.previous_grace_until
+            ):
+                long_term = self.previous
+                grace = True
+            else:
+                raise ProtocolError("stale SMT-ticket share outside the grace window")
         if chlo_random in self._seen_chlo_randoms:
             self.replayed_chlos += 1
             raise AuthenticationError("replayed 0-RTT ClientHello")
         self._seen_chlo_randoms.add(chlo_random)
+        if grace:
+            self.grace_accepts += 1
         trace = [TraceOp("S1", {})]
         client_share = ECPoint.decode(client_share_bytes)
-        shared = self.long_term.shared_secret(client_share)
+        shared = long_term.shared_secret(client_share)
         trace.append(TraceOp("S2.2", {}))
-        keys = derive_smt_keys(shared, client_share_bytes, self.long_term.public_bytes())
+        keys = derive_smt_keys(shared, client_share_bytes, long_term.public_bytes())
         trace.append(TraceOp("S2.6", {}))
         return keys[0], keys[1], trace
 

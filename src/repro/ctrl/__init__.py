@@ -1,0 +1,25 @@
+"""Session-lifecycle control plane (paper §4.5).
+
+Key pre-generation pools, scheduled SMT-ticket rotation, proactive
+rekeying before message-ID exhaustion, and a bounded per-host session
+table -- the pieces that *drive* the fast key-exchange machinery in
+:mod:`repro.core.zero_rtt` and :mod:`repro.tls.handshake` at datacenter
+connection-churn rates.
+"""
+
+from repro.ctrl.keypool import KeyPool
+from repro.ctrl.plane import ControlPlane, CtrlConfig
+from repro.ctrl.rekey import ManagedSession, RekeyManager
+from repro.ctrl.rotation import TicketCache, TicketRotator
+from repro.ctrl.session_table import SessionTable
+
+__all__ = [
+    "ControlPlane",
+    "CtrlConfig",
+    "KeyPool",
+    "ManagedSession",
+    "RekeyManager",
+    "SessionTable",
+    "TicketCache",
+    "TicketRotator",
+]

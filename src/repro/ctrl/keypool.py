@@ -1,0 +1,107 @@
+"""Pre-generated key pools (paper §4.5.1 "key pre-generation").
+
+Table 2 prices inline keypair generation at 61.3us on the client (C1.1)
+and 67.9us on the server (S2.1) -- the single largest handshake CPU term.
+The paper's fix is to generate keys *in advance*: "servers can prepare
+key pairs in advance ... removing the key generation cost from the
+critical path".  :class:`KeyPool` holds a bounded stock of standby
+keypairs and refills itself from a low watermark on an event-loop timer,
+so handshakes draw keys in O(1) and the keygen CPU runs off to the side.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Optional
+
+from repro.crypto.ecdh import EcdhKeyPair
+from repro.crypto.ecdsa import EcdsaKeyPair
+from repro.errors import ProtocolError
+
+_GENERATORS = {
+    "ecdh": EcdhKeyPair.generate,
+    "ecdsa": EcdsaKeyPair.generate,
+}
+
+
+class KeyPool:
+    """A bounded stock of pre-generated keypairs with timer-driven refill."""
+
+    def __init__(
+        self,
+        loop,
+        rng: random.Random,
+        kind: str = "ecdh",
+        capacity: int = 32,
+        low_watermark: int = 8,
+        refill_batch: int = 8,
+        refill_interval: float = 100e-6,
+        prefill: bool = True,
+    ):
+        if kind not in _GENERATORS:
+            raise ProtocolError(f"unknown keypool kind {kind!r}")
+        if not 0 <= low_watermark < capacity:
+            raise ProtocolError(
+                f"low watermark {low_watermark} must sit below capacity {capacity}"
+            )
+        self.loop = loop
+        self.rng = rng
+        self.kind = kind
+        self.capacity = capacity
+        self.low_watermark = low_watermark
+        self.refill_batch = refill_batch
+        self.refill_interval = refill_interval
+        self._generate = _GENERATORS[kind]
+        self._keys: deque = deque()
+        self._refill_timer = None
+        self.taken = 0
+        self.misses = 0
+        self.refilled = 0
+        self.refill_ticks = 0
+        if prefill:
+            while len(self._keys) < capacity:
+                self._keys.append(self._generate(rng))
+
+    @property
+    def size(self) -> int:
+        return len(self._keys)
+
+    def take(self):
+        """Pop a standby keypair, or None on a miss (pool drained)."""
+        if not self._keys:
+            self.misses += 1
+            self._arm_refill()
+            return None
+        key = self._keys.popleft()
+        self.taken += 1
+        if len(self._keys) <= self.low_watermark:
+            self._arm_refill()
+        return key
+
+    def take_or_generate(self):
+        """Pop a standby keypair, generating inline on a miss."""
+        key = self.take()
+        return key if key is not None else self._generate(self.rng)
+
+    def _arm_refill(self) -> None:
+        if self._refill_timer is None:
+            self._refill_timer = self.loop.timer_later(
+                self.refill_interval, self._refill_tick
+            )
+
+    def _refill_tick(self) -> None:
+        self._refill_timer = None
+        self.refill_ticks += 1
+        batch = min(self.refill_batch, self.capacity - len(self._keys))
+        for _ in range(batch):
+            self._keys.append(self._generate(self.rng))
+        self.refilled += batch
+        if len(self._keys) < self.capacity:
+            self._arm_refill()
+
+    def cancel_refill(self) -> None:
+        """Stop any pending refill (teardown)."""
+        if self._refill_timer is not None:
+            self._refill_timer.cancel()
+            self._refill_timer = None

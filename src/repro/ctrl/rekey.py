@@ -1,0 +1,149 @@
+"""Proactive session rekeying before message-ID exhaustion (§4.5.2).
+
+The 48-bit composite message-ID space is finite; the paper notes that
+session resumption "updates cryptographic keys and thus resets the
+message ID space".  :class:`RekeyManager` watches each managed session's
+:class:`~repro.core.seqspace.MessageIdSpace` high watermark and, before
+the space runs out, drains in-flight RPCs, runs a rekey exchange over the
+handshake socket, and resets the ID space -- all invisible to callers
+(new calls briefly park on the session's tx gate).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional
+
+from repro.core.endpoint import HANDSHAKE_PORT, REKEY_FS, REKEY_UPDATE, _MSG_REKEY, _wrap
+from repro.core.zero_rtt import derive_fs_keys, derive_update_keys
+from repro.crypto.ec import ECPoint
+from repro.crypto.ecdh import EcdhKeyPair
+from repro.errors import ProtocolError
+
+
+@dataclass
+class ManagedSession:
+    """One client-side session under rekey management."""
+
+    endpoint: object
+    peer_addr: int
+    peer_port: int
+    session: object
+    thread: object
+    rekeys_run: int = field(default=0)
+
+
+class RekeyManager:
+    """Drives drain-then-switch rekeys for managed client sessions."""
+
+    def __init__(self, loop, rng: Optional[random.Random] = None, keypool=None):
+        self.loop = loop
+        self.rng = rng or random.Random(0)
+        self.keypool = keypool
+        self.scheduled = 0
+        self.completed = 0
+        self.fs_upgrades = 0
+        self.inflight = 0
+        self.entries: list[ManagedSession] = []
+
+    def manage(
+        self, endpoint, peer_addr: int, peer_port: int, session, thread
+    ) -> ManagedSession:
+        """Arm the high-watermark trigger on ``session``'s ID space."""
+        entry = ManagedSession(endpoint, peer_addr, peer_port, session, thread)
+        self.entries.append(entry)
+        space = session.id_space
+        if space is not None:
+            space.on_high_watermark = lambda: self.schedule(entry)
+        return entry
+
+    def schedule(self, entry: ManagedSession) -> None:
+        """Kick off a background rekey unless one is already running."""
+        if entry.session.tx_gate_event is not None:
+            return
+        self.scheduled += 1
+        self.inflight += 1
+        entry.session.tx_gate_event = self.loop.event()
+        self.loop.process(self._run(entry))
+
+    def _drain(self, entry: ManagedSession) -> Generator[Any, Any, None]:
+        session = entry.session
+        while session.inflight_rpcs > 0:
+            waiter = self.loop.event()
+            session.drain_waiter = waiter
+            yield waiter
+        # Push any batched ACKs out before the ID space resets, so stale
+        # acknowledgements cannot land on a reused message ID.
+        entry.endpoint.transport._flush_acks(entry.peer_addr)
+
+    def _run(self, entry: ManagedSession) -> Generator[Any, Any, None]:
+        session = entry.session
+        try:
+            yield from self._drain(entry)
+            reply = yield from entry.endpoint._handshake_socket.call(
+                entry.thread,
+                entry.peer_addr,
+                HANDSHAKE_PORT,
+                _wrap(_MSG_REKEY, entry.endpoint.port, bytes([REKEY_UPDATE])),
+            )
+            if reply != b"\x01":
+                raise ProtocolError("rekey exchange rejected by server")
+            new_write = derive_update_keys(session.write_keys)
+            new_read = derive_update_keys(session.read_keys)
+            entry.endpoint.transport.forget_delivered(entry.peer_addr, entry.peer_port)
+            session.rekey(new_write, new_read)
+            entry.rekeys_run += 1
+            self.completed += 1
+        finally:
+            self.inflight -= 1
+            gate, session.tx_gate_event = session.tx_gate_event, None
+            if gate is not None:
+                gate.succeed()
+
+    def upgrade_to_fs(
+        self, entry: ManagedSession, pregenerated: Optional[EcdhKeyPair] = None
+    ) -> Generator[Any, Any, None]:
+        """Explicit forward-secrecy upgrade: fresh ECDH, fs-keys, ID reset.
+
+        Run on the caller's process (``yield from``); drains like a
+        watermark rekey.  The ephemeral comes from ``pregenerated``, the
+        manager's keypool, or (charging C1.1) inline generation.
+        """
+        session = entry.session
+        if session.tx_gate_event is not None:
+            raise ProtocolError("session is already rekeying")
+        session.tx_gate_event = self.loop.event()
+        self.inflight += 1
+        try:
+            yield from self._drain(entry)
+            eph = pregenerated
+            if eph is None and self.keypool is not None:
+                eph = self.keypool.take()
+            if eph is None:
+                eph = EcdhKeyPair.generate(self.rng)
+                yield from entry.thread.work(
+                    entry.endpoint.cost_model.op_cost_for("C1.1")
+                )
+            body = bytes([REKEY_FS]) + eph.public_bytes()
+            reply = yield from entry.endpoint._handshake_socket.call(
+                entry.thread,
+                entry.peer_addr,
+                HANDSHAKE_PORT,
+                _wrap(_MSG_REKEY, entry.endpoint.port, body),
+            )
+            shared = eph.shared_secret(ECPoint.decode(reply))
+            yield from entry.thread.work(
+                entry.endpoint.cost_model.op_cost_for("C2.2")
+            )
+            fs_cw, fs_sw = derive_fs_keys(shared, eph.public_bytes(), reply)
+            entry.endpoint.transport.forget_delivered(entry.peer_addr, entry.peer_port)
+            session.rekey(fs_cw, fs_sw)
+            entry.rekeys_run += 1
+            self.fs_upgrades += 1
+            self.completed += 1
+        finally:
+            self.inflight -= 1
+            gate, session.tx_gate_event = session.tx_gate_event, None
+            if gate is not None:
+                gate.succeed()

@@ -1,0 +1,89 @@
+"""Scheduled SMT-ticket rotation and client-side ticket refresh (§4.5.3).
+
+The paper bounds the exposure of the 0-RTT long-term share by rotating it
+"with a maximum lifetime of one hour" and republishing the fresh ticket
+through the internal DNS.  :class:`TicketRotator` drives that schedule on
+the event loop; a grace window on the server keeps 0-RTT attempts built
+against the *previous* share working while clients catch up.
+:class:`TicketCache` is the client half: it refreshes a cached ticket
+through DNS before it expires, so connects never hold a stale one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+
+class TicketRotator:
+    """Rotate a :class:`ZeroRttServer`'s share and republish via DNS."""
+
+    def __init__(
+        self,
+        loop,
+        zserver,
+        dns,
+        dns_name: str,
+        period: Optional[float] = None,
+        grace: Optional[float] = None,
+        ttl: Optional[float] = None,
+    ):
+        self.loop = loop
+        self.zserver = zserver
+        self.dns = dns
+        self.dns_name = dns_name
+        self.period = zserver.lifetime if period is None else period
+        if grace is not None:
+            zserver.grace_window = grace
+        self.ttl = self.period if ttl is None else ttl
+        self.rotations = 0
+        self._periodic = None
+
+    def start(self):
+        """Publish the first ticket now, then republish every period."""
+        if self._periodic is not None:
+            return self._periodic
+        self._publish()
+        self._periodic = self.loop.every(self.period, self._publish)
+        return self._periodic
+
+    def stop(self) -> None:
+        if self._periodic is not None:
+            self._periodic.cancel()
+            self._periodic = None
+
+    def _publish(self) -> None:
+        now = self.loop.now
+        ticket = self.zserver.rotate(now)
+        self.dns.publish(self.dns_name, ticket, now, ttl=self.ttl)
+        self.rotations += 1
+
+
+class TicketCache:
+    """Client-side ticket store with refresh-before-expiry semantics."""
+
+    def __init__(self, dns, trust_roots, refresh_margin: float = 60.0):
+        self.dns = dns
+        self.trust_roots = trust_roots
+        self.refresh_margin = refresh_margin
+        self._cache: dict = {}
+        self.hits = 0
+        self.refreshes = 0
+
+    def get(self, name: str, loop) -> Generator[Any, Any, object]:
+        """The current ticket for ``name``; re-fetches when near expiry.
+
+        A generator (``yield from``): the DNS fetch charges lookup latency
+        through the loop; a cache hit yields nothing.
+        """
+        ticket = self._cache.get(name)
+        if ticket is not None and loop.now + self.refresh_margin <= ticket.not_after:
+            self.hits += 1
+            return ticket
+        ticket = yield from self.dns.resolve(name, loop)
+        ticket.verify(self.trust_roots, loop.now)
+        self._cache[name] = ticket
+        self.refreshes += 1
+        return ticket
+
+    def invalidate(self, name: str) -> None:
+        self._cache.pop(name, None)

@@ -1,0 +1,123 @@
+"""A bounded per-host table of active sessions with deterministic eviction.
+
+A datacenter host talks to thousands of short-lived peers (ROADMAP north
+star; Homa's workloads), so session state must be bounded.  The table
+evicts least-recently-used sessions when full, sweeps idle ones on a
+timer, and -- when even the LRU candidates are busy -- refuses new
+handshake admissions (backpressure surfaced to clients as a refused
+flight).  Everything is driven by insertion order and virtual time, so a
+fixed seed replays the same evictions.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import ProtocolError
+
+
+@dataclass
+class _Entry:
+    on_evict: Callable[[], None]
+    busy: Callable[[], bool]
+    last_used: float
+
+
+class SessionTable:
+    """LRU/idle-evicting session registry with admission backpressure."""
+
+    def __init__(
+        self,
+        loop,
+        capacity: int = 1024,
+        idle_timeout: Optional[float] = None,
+        sweep_interval: Optional[float] = None,
+    ):
+        if capacity < 1:
+            raise ProtocolError(f"session table capacity must be >= 1, got {capacity}")
+        self.loop = loop
+        self.capacity = capacity
+        self.idle_timeout = idle_timeout
+        self._entries: "OrderedDict[tuple, _Entry]" = OrderedDict()
+        self._sweeper = None
+        if idle_timeout is not None:
+            self._sweeper = loop.every(
+                sweep_interval if sweep_interval is not None else idle_timeout / 4,
+                self._sweep_idle,
+            )
+        self.inserted = 0
+        self.evicted_lru = 0
+        self.evicted_idle = 0
+        self.admission_refused = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries
+
+    def admit(self) -> bool:
+        """May one more handshake proceed?  False applies backpressure."""
+        if len(self._entries) < self.capacity:
+            return True
+        if any(not e.busy() for e in self._entries.values()):
+            return True  # insert() will evict that LRU candidate
+        self.admission_refused += 1
+        return False
+
+    def insert(
+        self,
+        key: tuple,
+        on_evict: Callable[[], None],
+        busy: Callable[[], bool],
+        now: float,
+    ) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._entries[key] = _Entry(on_evict, busy, now)
+            return
+        if len(self._entries) >= self.capacity and not self._evict_lru():
+            self.admission_refused += 1
+            raise ProtocolError("session table full and every entry is busy")
+        self._entries[key] = _Entry(on_evict, busy, now)
+        self.inserted += 1
+
+    def touch(self, key: tuple) -> None:
+        entry = self._entries.get(key)
+        if entry is not None:
+            entry.last_used = self.loop.now
+            self._entries.move_to_end(key)
+
+    def remove(self, key: tuple) -> bool:
+        return self._entries.pop(key, None) is not None
+
+    def _evict_lru(self) -> bool:
+        """Evict the oldest non-busy entry; False if all are busy."""
+        for key, entry in self._entries.items():
+            if entry.busy():
+                continue
+            del self._entries[key]
+            self.evicted_lru += 1
+            entry.on_evict()
+            return True
+        return False
+
+    def _sweep_idle(self) -> None:
+        now = self.loop.now
+        timeout = self.idle_timeout
+        stale = [
+            (key, entry)
+            for key, entry in self._entries.items()
+            if now - entry.last_used > timeout and not entry.busy()
+        ]
+        for key, entry in stale:
+            if self._entries.pop(key, None) is not None:
+                self.evicted_idle += 1
+                entry.on_evict()
+
+    def stop(self) -> None:
+        if self._sweeper is not None:
+            self._sweeper.cancel()
+            self._sweeper = None

@@ -60,11 +60,30 @@ class HomaTransport:
         self._sockets[port] = socket
 
     def alloc_msg_id(self, codec: MessageCodec) -> int:
+        # Managed sessions (repro.ctrl) carve per-session lanes out of the
+        # ID space; unmanaged codecs fall through to the shared counter.
+        alloc = getattr(codec, "alloc_msg_id", None)
+        if alloc is not None:
+            msg_id = alloc()
+            if msg_id is not None:
+                return msg_id
         msg_id = self._next_msg_id
         self._next_msg_id += 2
         if msg_id >= codec.max_message_ids():
             raise TransportError("message ID space exhausted for this session")
         return msg_id
+
+    def forget_delivered(self, peer_addr: int, peer_port: int) -> int:
+        """Drop delivered-ID memory for one peer socket (rekey support).
+
+        A rekey resets the session's message-ID space, so previously seen
+        IDs from that peer become valid again; without this purge the
+        engine would treat the new epoch's messages as spurious duplicates.
+        """
+        stale = [k for k in self._delivered if k[0] == peer_addr and k[1] == peer_port]
+        for key in stale:
+            self._delivered.discard(key)
+        return len(stale)
 
     # -- transmit path ---------------------------------------------------------------
 

@@ -90,6 +90,34 @@ class HomaSocket:
     ) -> Generator[Any, Any, bytes]:
         """Send a request and wait for its response; returns the payload."""
         codec = self.codec_for(dest_addr, dest_port)
+        # Managed sessions (repro.ctrl) gate new calls while a rekey drains
+        # the session; unmanaged codecs have no gate and pay nothing here.
+        gate = getattr(codec, "tx_gate", None)
+        if gate is not None:
+            blocked = gate()
+            while blocked is not None:
+                yield blocked
+                blocked = gate()
+        started = getattr(codec, "rpc_started", None)
+        if started is not None:
+            started()
+            try:
+                payload = yield from self._call(
+                    thread, dest_addr, dest_port, payload, codec
+                )
+            finally:
+                codec.rpc_finished()
+            return payload
+        return (yield from self._call(thread, dest_addr, dest_port, payload, codec))
+
+    def _call(
+        self,
+        thread: AppThread,
+        dest_addr: int,
+        dest_port: int,
+        payload: bytes,
+        codec: MessageCodec,
+    ) -> Generator[Any, Any, bytes]:
         msg_id = self.transport.alloc_msg_id(codec)
         mss = self.transport.host.nic.mtu_payload
         encoded = codec.encode(msg_id, payload, mss)
@@ -147,6 +175,12 @@ class HomaSocket:
             + ack_cost
         )
         return decoded.payload
+
+    def forget_peer(self, peer_addr: int) -> None:
+        """Drop per-peer recovery state when a session closes."""
+        stale = [k for k in self._corrupt_attempts if k[0] == peer_addr]
+        for key in stale:
+            del self._corrupt_attempts[key]
 
     def _failed_decode_cost(self, wire: bytes) -> float:
         """CPU burned reassembling and decrypting bytes the tag rejected."""

@@ -252,6 +252,60 @@ class Timer:
         return True
 
 
+class PeriodicTimer:
+    """A repeating timer: fires ``fn()`` every ``interval`` until cancelled.
+
+    Built on :class:`Timer` handles, so cancellation is O(1) and a
+    cancelled periodic leaves only a lazily-reclaimed tombstone.  The
+    callback may cancel its own periodic; the reschedule check runs after
+    the callback returns.  Created via :meth:`EventLoop.every` -- the
+    control-plane primitives (key-pool refill, ticket rotation, session
+    idle sweeps) all hang off this.
+    """
+
+    __slots__ = ("_loop", "interval", "_fn", "_timer", "_cancelled", "fires")
+
+    def __init__(
+        self,
+        loop: "EventLoop",
+        interval: float,
+        fn: Callable[[], None],
+        first_delay: Optional[float] = None,
+    ):
+        if interval <= 0:
+            raise SimulationError(f"periodic interval must be positive, got {interval}")
+        self._loop = loop
+        self.interval = interval
+        self._fn = fn
+        self._cancelled = False
+        self.fires = 0
+        delay = interval if first_delay is None else first_delay
+        self._timer: Optional[Timer] = loop.timer_later(delay, self._fire)
+
+    def _fire(self) -> None:
+        self._timer = None
+        if self._cancelled:
+            return
+        self.fires += 1
+        self._fn()
+        if not self._cancelled:
+            self._timer = self._loop.timer_later(self.interval, self._fire)
+
+    @property
+    def active(self) -> bool:
+        return not self._cancelled
+
+    def cancel(self) -> bool:
+        """Stop firing; True if the periodic was still active."""
+        if self._cancelled:
+            return False
+        self._cancelled = True
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        return True
+
+
 class EventLoop:
     """Deterministic virtual-time scheduler."""
 
@@ -339,6 +393,15 @@ class EventLoop:
         self._tombstones = 0
 
     # -- event factories ----------------------------------------------------
+
+    def every(
+        self,
+        interval: float,
+        fn: Callable[[], None],
+        first_delay: Optional[float] = None,
+    ) -> PeriodicTimer:
+        """Fire ``fn()`` every ``interval`` seconds until cancelled."""
+        return PeriodicTimer(self, interval, fn, first_delay=first_delay)
 
     def event(self) -> Event:
         """A fresh untriggered event on this loop."""

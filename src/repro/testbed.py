@@ -43,6 +43,29 @@ class Testbed:
     faults_s2c: Optional[FaultInjector] = None
     # Installed by :meth:`enable_obs`; None keeps the bed unobserved.
     obs: Optional["Observability"] = None
+    # Installed by :meth:`enable_ctrl`; None keeps both hosts unmanaged.
+    ctrl_client: Optional[object] = None
+    ctrl_server: Optional[object] = None
+
+    def enable_ctrl(self, config=None, seed: int = 2025):
+        """Attach a session-lifecycle control plane to both hosts.
+
+        Idempotent.  Returns ``(client_plane, server_plane)``; endpoints
+        built afterwards opt in with ``ctrl=bed.ctrl_client`` (or via
+        ``plane.adopt``).  Distinct seeds keep the two hosts' standby-key
+        streams independent yet replayable.
+        """
+        if self.ctrl_client is not None:
+            return self.ctrl_client, self.ctrl_server
+        from repro.ctrl import ControlPlane
+
+        self.ctrl_client = ControlPlane(
+            self.client, random.Random(seed), config=config
+        )
+        self.ctrl_server = ControlPlane(
+            self.server, random.Random(seed + 1), config=config
+        )
+        return self.ctrl_client, self.ctrl_server
 
     @staticmethod
     def back_to_back(
@@ -128,6 +151,9 @@ class Testbed:
             obs.observe_fault_injector(self.faults_c2s, "faults.c2s")
         if self.faults_s2c is not None:
             obs.observe_fault_injector(self.faults_s2c, "faults.s2c")
+        if self.ctrl_client is not None:
+            self.ctrl_client.bind_obs(obs)
+            self.ctrl_server.bind_obs(obs)
         self.obs = obs
         return obs
 

@@ -107,6 +107,11 @@ class HandshakeConfig:
     mutual_auth: bool = False
     # Pre-generated standby ECDH key pair (paper §4.5.1 "key pre-generation").
     pregenerated_keypair: Optional[EcdhKeyPair] = None
+    # A repro.ctrl KeyPool to draw standby keys from (duck-typed: anything
+    # with ``take() -> Optional[EcdhKeyPair]``).  A hit eliminates the
+    # keygen op exactly like ``pregenerated_keypair``; a miss falls back
+    # to inline generation and charges it.
+    keypool: Optional[object] = None
     # Resumption: client side presents a ticket; forward_secrecy keeps ECDHE.
     ticket: Optional[SessionTicket] = None
     forward_secrecy: bool = True
@@ -226,6 +231,10 @@ class ClientHandshake(_HandshakeBase):
             if cfg.pregenerated_keypair is not None:
                 self._ecdh = cfg.pregenerated_keypair
                 # pre-generated: C1.1 is eliminated (paper §4.5.1)
+            elif (
+                pooled := cfg.keypool.take() if cfg.keypool is not None else None
+            ) is not None:
+                self._ecdh = pooled  # pool hit: C1.1 off the critical path
             else:
                 self._ecdh = EcdhKeyPair.generate(cfg.rng)
                 self._note("C1.1")
@@ -479,6 +488,10 @@ class ServerHandshake(_HandshakeBase):
         if use_ecdhe:
             if cfg.pregenerated_keypair is not None:
                 ecdh = cfg.pregenerated_keypair
+            elif (
+                pooled := cfg.keypool.take() if cfg.keypool is not None else None
+            ) is not None:
+                ecdh = pooled  # pool hit: S2.1 off the critical path
             else:
                 ecdh = EcdhKeyPair.generate(cfg.rng)
                 self._note("S2.1")

@@ -1,0 +1,260 @@
+"""Proactive rekeying before message-ID exhaustion (§4.5.2)."""
+
+import random
+
+import pytest
+
+from repro.core.endpoint import SmtEndpoint
+from repro.core.seqspace import BitAllocation, MessageIdSpace
+from repro.crypto.ca import CertificateAuthority
+from repro.crypto.cert import KEY_ALG_ECDSA
+from repro.crypto.ecdsa import EcdsaKeyPair
+from repro.ctrl import CtrlConfig
+from repro.errors import ProtocolError
+from repro.testbed import Testbed
+from repro.tls.handshake import HandshakeConfig, ServerCredentials
+
+
+@pytest.fixture(scope="module")
+def pki():
+    rng = random.Random(1)
+    ca = CertificateAuthority("dc-root", rng)
+    key = EcdsaKeyPair.generate(rng)
+    leaf = ca.issue("server", KEY_ALG_ECDSA, key.public_bytes())
+    return ca, ServerCredentials(chain=ca.chain_for(leaf), signing_key=key)
+
+
+class TestMessageIdSpace:
+    def test_allocates_even_ids(self):
+        space = MessageIdSpace(BitAllocation(), first_msg_id=10, capacity=8)
+        assert [space.alloc() for _ in range(4)] == [10, 12, 14, 16]
+
+    def test_exhaustion_raises(self):
+        space = MessageIdSpace(BitAllocation(), capacity=6)
+        for _ in range(3):
+            space.alloc()
+        with pytest.raises(ProtocolError, match="exhausted"):
+            space.alloc()
+
+    def test_watermark_fires_once_per_epoch(self):
+        fired = []
+        space = MessageIdSpace(
+            BitAllocation(), capacity=8, watermark_fraction=0.5
+        )
+        space.on_high_watermark = lambda: fired.append(space.epoch)
+        space.alloc()  # -> 4, below watermark 6
+        assert fired == []
+        space.alloc()  # -> 6: fires
+        space.alloc()
+        assert fired == [0]
+        space.reset()
+        space.alloc()
+        space.alloc()
+        assert fired == [0, 1]
+
+    def test_reset_restarts_slice(self):
+        space = MessageIdSpace(BitAllocation(), first_msg_id=100, capacity=6)
+        assert space.alloc() == 100
+        space.reset()
+        assert space.alloc() == 100
+        assert space.epoch == 1 and space.resets == 1
+        assert space.total_allocated == 2
+
+    def test_validation(self):
+        with pytest.raises(ProtocolError, match="even"):
+            MessageIdSpace(BitAllocation(), first_msg_id=3)
+        with pytest.raises(ProtocolError, match="does not fit"):
+            MessageIdSpace(BitAllocation(msg_id_bits=4), first_msg_id=14, capacity=8)
+        with pytest.raises(ProtocolError, match="watermark_fraction"):
+            MessageIdSpace(BitAllocation(), watermark_fraction=0.0)
+
+
+def build_managed(pki, config, client_rpc_thread=1, seed=21):
+    """Two ctrl-managed endpoints with the server listening and echoing."""
+    ca, creds = pki
+    roots = (ca.certificate,)
+    bed = Testbed.back_to_back()
+    cc, sc = bed.enable_ctrl(config=config, seed=seed)
+    sep = SmtEndpoint(bed.server, 7000, ctrl=sc)
+    cep = SmtEndpoint(bed.client, bed.client.alloc_port(), ctrl=cc)
+    # Background rekeys need an app thread to charge their CPU to.
+    cc.adopt(cep, rekey_thread=bed.client.app_thread(client_rpc_thread))
+    sep.listen(
+        bed.server.app_thread(0), creds,
+        lambda: sc.handshake_config(trust_roots=roots),
+    )
+
+    def echo():
+        thread = bed.server.app_thread(1)
+        while True:
+            rpc = yield from sep.socket.recv_request(thread)
+            yield from sep.socket.reply(thread, rpc, rpc.payload)
+
+    bed.loop.process(echo())
+    return bed, cep, sep, cc, sc, roots
+
+
+SMALL_LANES = CtrlConfig(
+    lane_size=64,
+    rekey_watermark_fraction=0.5,
+    ecdh_pool_capacity=8,
+    ecdh_low_watermark=2,
+)
+
+
+class TestTransparentRekey:
+    def test_session_rekeys_past_watermark_without_errors(self, pki):
+        bed, cep, sep, cc, sc, roots = build_managed(pki, SMALL_LANES)
+        replies = []
+
+        def client():
+            thread = bed.client.app_thread(0)
+            yield from cep.connect(
+                thread, bed.server.addr, 7000,
+                cc.handshake_config(server_name="server", trust_roots=roots),
+            )
+            # 60 calls through a 31-id lane: impossible without rekeys.
+            for i in range(60):
+                payload = bytes([i]) * 32
+                reply = yield from cep.socket.call(
+                    thread, bed.server.addr, 7000, payload
+                )
+                replies.append(reply == payload)
+
+        done = bed.loop.process(client())
+        bed.loop.run(until=2.0)
+        assert done.triggered and done.ok, getattr(done, "value", None)
+        assert all(replies) and len(replies) == 60
+
+        session = cep.session_for(bed.server.addr, 7000)
+        assert session.rekeys == 4
+        assert session.id_space.resets == 4
+        assert cc.rekeys.scheduled == 4 and cc.rekeys.completed == 4
+        assert cc.rekeys.inflight == 0
+        # The server rolled its copy of the session in lockstep.
+        assert sep.session_for(bed.client.addr, cep.port).rekeys == 4
+
+    def test_rekey_visible_through_ctrl_metrics(self, pki):
+        bed, cep, sep, cc, sc, roots = build_managed(pki, SMALL_LANES)
+        bed.enable_obs()
+
+        def client():
+            thread = bed.client.app_thread(0)
+            yield from cep.connect(
+                thread, bed.server.addr, 7000,
+                cc.handshake_config(server_name="server", trust_roots=roots),
+            )
+            for _ in range(20):
+                yield from cep.socket.call(thread, bed.server.addr, 7000, b"m")
+
+        done = bed.loop.process(client())
+        bed.loop.run(until=2.0)
+        assert done.triggered and done.ok, getattr(done, "value", None)
+        snap = bed.obs.metrics.snapshot()
+        assert snap["client.ctrl.rekeys.completed"] >= 1
+        assert snap["client.ctrl.msgid.resets"] >= 1
+        assert snap["client.ctrl.rekeys.inflight"] == 0
+        assert snap["client.ctrl.sessions"] == 1
+        assert snap["client.ctrl.keypool.ecdh.taken"] >= 1
+
+    @pytest.mark.parametrize("seed", [3, 17, 91])
+    def test_property_managed_never_exhausts(self, pki, seed):
+        # Property: wherever the watermark lands, a managed session rekeys
+        # before its slice runs dry -- across seeds, never a ProtocolError.
+        config = CtrlConfig(
+            lane_size=16,  # 7 usable ids per epoch
+            rekey_watermark_fraction=0.5,
+            ecdh_pool_capacity=4,
+            ecdh_low_watermark=1,
+        )
+        bed, cep, sep, cc, sc, roots = build_managed(pki, config, seed=seed)
+        n = 20 + seed % 5
+
+        def client():
+            thread = bed.client.app_thread(0)
+            yield from cep.connect(
+                thread, bed.server.addr, 7000,
+                cc.handshake_config(server_name="server", trust_roots=roots),
+            )
+            for i in range(n):
+                yield from cep.socket.call(
+                    thread, bed.server.addr, 7000, bytes([i % 251])
+                )
+
+        done = bed.loop.process(client())
+        bed.loop.run(until=2.0)
+        assert done.triggered and done.ok, getattr(done, "value", None)
+        session = cep.session_for(bed.server.addr, 7000)
+        assert session.rekeys >= 1
+        assert session.id_space.total_allocated == n
+        assert cc.rekeys.scheduled == cc.rekeys.completed
+
+    def test_unmanaged_session_exhausts_with_protocol_error(self, pki):
+        # The counterpart: same tiny slice, no manager watching it.
+        ca, creds = pki
+        roots = (ca.certificate,)
+        bed = Testbed.back_to_back()
+        sep = SmtEndpoint(bed.server, 7000)
+        cep = SmtEndpoint(bed.client, bed.client.alloc_port())
+        sep.listen(
+            bed.server.app_thread(0), creds,
+            lambda: HandshakeConfig(rng=random.Random(3), trust_roots=roots),
+        )
+
+        def echo():
+            thread = bed.server.app_thread(1)
+            while True:
+                rpc = yield from sep.socket.recv_request(thread)
+                yield from sep.socket.reply(thread, rpc, rpc.payload)
+
+        bed.loop.process(echo())
+
+        def client():
+            thread = bed.client.app_thread(0)
+            yield from cep.connect(
+                thread, bed.server.addr, 7000,
+                HandshakeConfig(rng=random.Random(4), server_name="server",
+                                trust_roots=roots),
+            )
+            session = cep.session_for(bed.server.addr, 7000)
+            session.id_space = MessageIdSpace(cep.allocation, capacity=6)
+            for _ in range(4):  # only 3 ids fit
+                yield from cep.socket.call(thread, bed.server.addr, 7000, b"m")
+
+        done = bed.loop.process(client())
+        bed.loop.run(until=2.0)
+        assert done.triggered and not done.ok
+        assert isinstance(done.value, ProtocolError)
+        assert "exhausted" in str(done.value)
+
+
+class TestForwardSecrecyUpgrade:
+    def test_upgrade_to_fs_rolls_keys_and_resets_ids(self, pki):
+        bed, cep, sep, cc, sc, roots = build_managed(pki, SMALL_LANES)
+        checks = {}
+
+        def client():
+            thread = bed.client.app_thread(0)
+            yield from cep.connect(
+                thread, bed.server.addr, 7000,
+                cc.handshake_config(server_name="server", trust_roots=roots),
+            )
+            session = cep.session_for(bed.server.addr, 7000)
+            old_key = session.write_keys.key
+            yield from cep.socket.call(thread, bed.server.addr, 7000, b"pre")
+            (entry,) = cc.rekeys.entries
+            yield from cc.rekeys.upgrade_to_fs(entry)
+            checks["key_changed"] = session.write_keys.key != old_key
+            checks["resets"] = session.id_space.resets
+            reply = yield from cep.socket.call(
+                thread, bed.server.addr, 7000, b"post-upgrade"
+            )
+            checks["echo"] = reply == b"post-upgrade"
+
+        done = bed.loop.process(client())
+        bed.loop.run(until=2.0)
+        assert done.triggered and done.ok, getattr(done, "value", None)
+        assert checks == {"key_changed": True, "resets": 1, "echo": True}
+        assert cc.rekeys.fs_upgrades == 1
+        # The ephemeral came from the standby pool, not inline generation.
+        assert cc.ecdh_pool.taken >= 1
