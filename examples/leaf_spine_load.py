@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Loaded slowdown on a leaf-spine fabric: messages vs bytestreams.
+
+Builds a two-rack, two-spine Clos fabric (``ClosTestbed.leaf_spine``),
+then drives it with an open-loop workload: Poisson arrivals at 50% of
+each host's uplink, message sizes sampled from a compressed Homa-W4
+distribution.  Each RPC's slowdown is its RTT divided by the unloaded
+best-case RTT for the same size and path class — the metric datacenter
+transports are judged by.
+
+Two things to watch:
+
+- Homa and SMT keep their tails short while TCP's head-of-line blocking
+  inflates p99 slowdown, even though every byte SMT moves is encrypted;
+- ECMP spreads cross-rack flows over both spines, and because the hash
+  is per-flow, records never reorder across paths — every
+  position-dependent payload check passes.
+
+Run:  python examples/leaf_spine_load.py
+"""
+
+from repro.homa import HomaConfig
+from repro.load import HOMA_W4, ClusterHarness, OpenLoopEngine
+from repro.testbed import ClosTestbed
+from repro.units import KB, USEC
+
+LOAD = 0.5
+DURATION = 0.15e-3  # seconds of virtual-time arrivals
+
+CONFIG = HomaConfig(
+    unscheduled_bytes=16 * KB,
+    grant_window=16 * KB,
+    resend_interval=200 * USEC,
+    max_resends=100,
+)
+
+
+def run_system(system: str):
+    bed = ClosTestbed.leaf_spine(
+        num_racks=2, hosts_per_rack=2, num_spines=2, seed=1
+    )
+    harness = ClusterHarness(bed, system, config=CONFIG)
+    engine = OpenLoopEngine(harness, HOMA_W4, load=LOAD, duration=DURATION, seed=7)
+    return engine.run()
+
+
+def main() -> None:
+    print(f"open-loop Homa-W4 workload at {LOAD:.0%} load, "
+          f"{DURATION * 1e6:.0f} us of arrivals, 2 racks x 2 hosts, 2 spines\n")
+    results = {}
+    for system in ("homa", "smt", "tcp", "ktls"):
+        r = results[system] = run_system(system)
+        spread = r.spine_spread
+        share = min(spread) / sum(spread)
+        print(f"{system:>5}: {r.completed}/{r.issued} RPCs done, "
+              f"slowdown p50 {r.p50:5.1f}  p99 {r.p99:6.1f}, "
+              f"spine spread {spread} (min share {share:.0%}), "
+              f"integrity errors {r.integrity_errors}")
+    assert all(r.completed == r.issued for r in results.values())
+    assert all(r.integrity_errors == 0 for r in results.values())
+    assert results["homa"].p99 < results["tcp"].p99
+    assert results["smt"].p99 < results["ktls"].p99
+    print("\nMessage transports hold the tail down under load; SMT pays for")
+    print("encryption yet still beats kTLS, because records map to message")
+    print("offsets instead of a head-of-line-blocked byte stream.")
+    print("OK: loaded leaf-spine fabric, per-flow ECMP, zero reassembly errors.")
+
+
+if __name__ == "__main__":
+    main()

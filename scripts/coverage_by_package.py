@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Print a per-package coverage table from a coverage.py JSON report.
+
+CI runs this between collecting coverage and enforcing the floor, so a
+below-floor failure always comes with the table that says *which*
+package dragged the total down, not just the one aggregate number.
+
+Usage: python scripts/coverage_by_package.py [coverage.json]
+"""
+
+import json
+import sys
+from collections import defaultdict
+from pathlib import PurePosixPath
+
+
+def package_of(filename: str) -> str:
+    """Map a measured file to its reporting bucket.
+
+    ``src/repro/net/switch.py`` -> ``repro.net``; top-level modules such
+    as ``src/repro/testbed.py`` all fold into ``repro``.
+    """
+    parts = PurePosixPath(filename.replace("\\", "/")).parts
+    if "repro" in parts:
+        i = parts.index("repro")
+        if len(parts) > i + 2:  # repro/<package>/...
+            return f"repro.{parts[i + 1]}"
+        return "repro"
+    return parts[0] if parts else "?"
+
+
+def main(path: str = "coverage.json") -> int:
+    with open(path) as fh:
+        data = json.load(fh)
+    per: dict[str, list[int]] = defaultdict(lambda: [0, 0])
+    for filename, entry in data["files"].items():
+        summary = entry["summary"]
+        bucket = per[package_of(filename)]
+        bucket[0] += summary["covered_lines"]
+        bucket[1] += summary["num_statements"]
+    if not per:
+        print("no files measured", file=sys.stderr)
+        return 1
+    width = max(len(name) for name in per) + 2
+    print(f"{'package':<{width}}  stmts  cover")
+    total_covered = total_statements = 0
+    for name in sorted(per):
+        covered, statements = per[name]
+        total_covered += covered
+        total_statements += statements
+        pct = 100.0 * covered / statements if statements else 100.0
+        print(f"{name:<{width}}  {statements:5d}  {pct:5.1f}%")
+    pct = 100.0 * total_covered / total_statements if total_statements else 100.0
+    print(f"{'TOTAL':<{width}}  {total_statements:5d}  {pct:5.1f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(*sys.argv[1:]))

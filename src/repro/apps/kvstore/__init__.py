@@ -5,9 +5,15 @@ protocol, and ports to every transport the paper compares: TCP, user-space
 TLS, kTLS (SW/HW), Homa and SMT (SW/HW).
 """
 
-from repro.apps.kvstore.protocol import encode_get, encode_set, decode_command, encode_reply, decode_reply
-from repro.apps.kvstore.store import KVStore
+from repro.apps.kvstore.protocol import (
+    decode_command,
+    decode_reply,
+    encode_get,
+    encode_reply,
+    encode_set,
+)
 from repro.apps.kvstore.server import MessageKvServer, StreamKvServer
+from repro.apps.kvstore.store import KVStore
 
 __all__ = [
     "encode_get",

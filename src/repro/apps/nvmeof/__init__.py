@@ -8,8 +8,13 @@ transport CPU costs shape the tail as iodepth grows.
 """
 
 from repro.apps.nvmeof.device import NvmeDevice
+from repro.apps.nvmeof.protocol import (
+    decode_completion,
+    decode_read_cmd,
+    encode_completion,
+    encode_read_cmd,
+)
 from repro.apps.nvmeof.target import MessageNvmeTarget, StreamNvmeTarget
-from repro.apps.nvmeof.protocol import encode_read_cmd, decode_read_cmd, encode_completion, decode_completion
 
 __all__ = [
     "NvmeDevice",

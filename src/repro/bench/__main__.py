@@ -37,8 +37,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="run experiments in N worker processes "
                              "(default: 1, serial in-process)")
     parser.add_argument("--quick", action="store_true",
-                        help="reduced iteration counts for the 'perf' and "
-                             "'churn' experiments (CI smoke size)")
+                        help="reduced iteration counts for the 'perf', "
+                             "'churn' and 'loaded' experiments (CI smoke size)")
     parser.add_argument("--no-json", action="store_true",
                         help="skip writing BENCH_<name>.json report files")
     parser.add_argument("--json-dir", default=".", metavar="DIR",

@@ -32,6 +32,7 @@ from repro.bench import (
     fig10,
     fig11,
     fig12,
+    loaded,
     perf,
     table1,
     table2,
@@ -56,10 +57,11 @@ EXPERIMENTS = {
     "ablation-bits": ablations.run_bit_split_ablation,
     "perf": perf.run,
     "churn": churn.run,
+    "loaded": loaded.run,
 }
 
 # Experiments whose run() accepts quick=True for a scaled-down CI pass.
-_QUICK_AWARE = {"perf", "churn"}
+_QUICK_AWARE = {"perf", "churn", "loaded"}
 
 
 @dataclass

@@ -1,0 +1,170 @@
+"""Loaded slowdown over the leaf-spine fabric (Homa-style evaluation).
+
+Back-to-back RTTs (Figure 6) say nothing about how a transport behaves
+where it actually runs: a multi-rack fabric at sustained load, judged by
+*tail slowdown* — observed RTT over unloaded best-case RTT, p99 across a
+realistic message-size mix (Montazeri et al.'s Homa evaluation; the SMT
+paper's §7 fabric-compatibility argument assumes this setting).  This
+experiment drives the open-loop engine (``repro.load``) over a
+:class:`ClosTestbed` for all four contestants — Homa plaintext, SMT,
+TCP and kTLS — at the same offered load, with Poisson arrivals sampling
+a compressed Homa-W4 size distribution.
+
+Band checks are deterministic (virtual-time and count based):
+
+- *slowdown ordering*: the message transports beat the bytestream
+  transports at the tail (Homa < TCP, SMT < kTLS at p99, and the worst
+  message transport beats the best stream transport) — head-of-line
+  blocking is the mechanism the paper argues SMT avoids;
+- *ECMP spread*: every spine carries a meaningful share of cross-rack
+  traffic for every system (flow hashing actually balances);
+- *reassembly integrity*: every issued RPC completes and zero
+  position-dependent fill checks fail — per-flow-consistent ECMP never
+  reorders records across paths, so composite-seqno reassembly survives
+  the multi-path fabric.
+
+The SMT run is observed (``enable_obs``), so its slowdown histogram
+aggregates through the obs metrics registry and the JSON report carries
+the fabric's span/metrics snapshot.
+"""
+
+from __future__ import annotations
+
+from repro.bench.report import ExperimentReport
+from repro.homa import HomaConfig
+from repro.load import HOMA_W4, ClusterHarness, OpenLoopEngine
+from repro.testbed import ClosTestbed
+from repro.units import KB, USEC
+
+SYSTEMS = ("homa", "smt", "tcp", "ktls")
+LOAD = 0.5
+SEED = 11
+
+#: Receiver-driven pacing sized for a shared-buffer fabric: a full-BDP
+#: unscheduled burst (72 KB) from two senders overruns one 128 KB leaf
+#: port, so loaded runs use incast-style windows and a resend timer
+#: above loaded-queue latency but well below the open-loop drain budget.
+LOAD_HOMA_CONFIG = HomaConfig(
+    unscheduled_bytes=16 * KB,
+    grant_window=16 * KB,
+    resend_interval=200 * USEC,
+    max_resends=100,
+)
+
+
+def _run_system(system: str, quick: bool) -> "tuple":
+    bed = ClosTestbed.leaf_spine(
+        num_racks=2 if quick else 3,
+        hosts_per_rack=2,
+        num_spines=2,
+        num_app_cores=12,
+        seed=1,
+    )
+    obs = None
+    if system == "smt":
+        obs = bed.enable_obs()
+    harness = ClusterHarness(bed, system, config=LOAD_HOMA_CONFIG)
+    engine = OpenLoopEngine(
+        harness,
+        HOMA_W4,
+        load=LOAD,
+        duration=0.15e-3 if quick else 0.4e-3,
+        seed=SEED,
+    )
+    result = engine.run()
+    snapshot = obs.snapshot() if obs is not None else None
+    return result, snapshot
+
+
+def run(quick: bool = False) -> ExperimentReport:
+    report = ExperimentReport(
+        "Loaded slowdown: leaf-spine fabric at 50% load, Homa-W4 sizes"
+        + (" (quick)" if quick else "")
+    )
+    results = {}
+    for system in SYSTEMS:
+        result, snapshot = _run_system(system, quick)
+        results[system] = result
+        if snapshot is not None:
+            report.obs[f"{system}/loaded"] = snapshot
+
+    rows = []
+    for system in SYSTEMS:
+        r = results[system]
+        spread = r.spine_spread
+        min_share = min(spread) / sum(spread) if sum(spread) else 0.0
+        rows.append((
+            system,
+            r.issued,
+            r.completed,
+            round(r.p50, 2),
+            round(r.p99, 2),
+            round(r.mean, 2),
+            round(min_share, 3),
+            r.integrity_errors,
+        ))
+    report.add_table(
+        ["system", "issued", "done", "p50 slow", "p99 slow", "mean",
+         "min spine share", "integ errs"],
+        rows,
+    )
+
+    sizes = sorted(results["homa"].per_size)
+    report.add_table(
+        ["size (B)"] + list(SYSTEMS),
+        [
+            [size] + [
+                round(results[s].per_size[size].p99(), 2)
+                if size in results[s].per_size else "-"
+                for s in SYSTEMS
+            ]
+            for size in sizes
+        ],
+    )
+
+    # Slowdown ordering: message transports beat bytestreams at the tail.
+    report.check(
+        "homa p99 slowdown below tcp",
+        float(results["homa"].p99 < results["tcp"].p99), 1, 1,
+    )
+    report.check(
+        "smt p99 slowdown below ktls",
+        float(results["smt"].p99 < results["ktls"].p99), 1, 1,
+    )
+    worst_message = max(results["homa"].p99, results["smt"].p99)
+    best_stream = min(results["tcp"].p99, results["ktls"].p99)
+    report.check(
+        "worst message transport beats best stream transport (p99)",
+        float(worst_message < best_stream), 1, 1,
+    )
+    # Loaded tails are real: the p99 clearly exceeds the unloaded
+    # baseline for every system (the fabric was actually stressed).
+    report.check(
+        "min p99 slowdown across systems",
+        min(r.p99 for r in results.values()), 2.0, 1000.0,
+    )
+    report.check(
+        "min p50 slowdown across systems (>= unloaded baseline)",
+        min(r.p50 for r in results.values()), 1.0, 100.0,
+    )
+    # ECMP spread: both spines carry a meaningful share for every system.
+    report.check(
+        "min spine share of cross-rack packets (any system)",
+        min(
+            min(r.spine_spread) / sum(r.spine_spread)
+            for r in results.values()
+        ),
+        0.10, 0.50,
+    )
+    # Reassembly integrity across ECMP paths.
+    report.check(
+        "RPCs completed (all systems)",
+        sum(r.completed for r in results.values()),
+        sum(r.issued for r in results.values()),
+        sum(r.issued for r in results.values()),
+    )
+    report.check(
+        "reassembly/fill integrity errors",
+        sum(r.integrity_errors for r in results.values()), 0, 0,
+    )
+    return report

@@ -15,9 +15,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Generator, Optional
 
+from repro.apps.rpc import RpcChannel
 from repro.core.codec import SmtCodec
 from repro.core.session import SmtSession
-from repro.apps.rpc import RpcChannel
 from repro.homa import HomaConfig, HomaSocket, HomaTransport
 from repro.ktls import ktls_pair
 from repro.net.headers import PROTO_HOMA, PROTO_SMT

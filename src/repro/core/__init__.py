@@ -14,11 +14,11 @@
   internal DNS (§4.5).
 """
 
-from repro.core.seqspace import BitAllocation, CompositeSeqno
-from repro.core.framing import FramePlan, plan_message, RECORD_OVERHEAD
-from repro.core.session import SmtSession
 from repro.core.codec import SmtCodec
 from repro.core.endpoint import SmtEndpoint, SmtSocket
+from repro.core.framing import RECORD_OVERHEAD, FramePlan, plan_message
+from repro.core.seqspace import BitAllocation, CompositeSeqno
+from repro.core.session import SmtSession
 
 __all__ = [
     "BitAllocation",

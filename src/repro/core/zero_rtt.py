@@ -27,8 +27,8 @@ from repro.crypto.ec import ECPoint
 from repro.crypto.ecdh import EcdhKeyPair
 from repro.crypto.kdf import hkdf_expand_label, hkdf_extract
 from repro.errors import AuthenticationError, ProtocolError
-from repro.tls.keyschedule import TrafficKeys
 from repro.tls.handshake import TraceOp
+from repro.tls.keyschedule import TrafficKeys
 
 DEFAULT_TICKET_LIFETIME = 3600.0  # "a maximum lifetime of one hour" (§4.5.3)
 

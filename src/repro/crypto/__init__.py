@@ -12,16 +12,16 @@ Their *timing* inside simulations is charged from the calibrated cost model
 (`repro.host.costs`), never from Python wall time.
 """
 
-from repro.crypto.aes import AES
-from repro.crypto.gcm import AesGcm
 from repro.crypto.aead import Aead, FastAead, new_aead, shared_aead
-from repro.crypto.kdf import hkdf_extract, hkdf_expand, hkdf_expand_label, hmac_sha256
+from repro.crypto.aes import AES
+from repro.crypto.ca import CertificateAuthority
+from repro.crypto.cert import Certificate, CertificateChain
 from repro.crypto.ec import P256, ECPoint
 from repro.crypto.ecdh import EcdhKeyPair
 from repro.crypto.ecdsa import EcdsaKeyPair, ecdsa_sign, ecdsa_verify
+from repro.crypto.gcm import AesGcm
+from repro.crypto.kdf import hkdf_expand, hkdf_expand_label, hkdf_extract, hmac_sha256
 from repro.crypto.rsa import RsaKeyPair
-from repro.crypto.cert import Certificate, CertificateChain
-from repro.crypto.ca import CertificateAuthority
 
 __all__ = [
     "AES",

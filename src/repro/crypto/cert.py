@@ -10,7 +10,7 @@ deterministic binary encoding -- no ASN.1.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Iterable, Optional
+from typing import Iterable
 
 from repro.crypto.ec import ECPoint
 from repro.crypto.ecdsa import ecdsa_verify

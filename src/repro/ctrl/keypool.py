@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import random
 from collections import deque
-from typing import Optional
 
 from repro.crypto.ecdh import EcdhKeyPair
 from repro.crypto.ecdsa import EcdsaKeyPair

@@ -8,8 +8,8 @@ delivery.  SMT (:mod:`repro.core`) reuses this engine with an encrypting
 message codec and its own protocol number.
 """
 
+from repro.homa.codec import EncodedMessage, MessageCodec, PlainCodec, SegmentPlan
 from repro.homa.constants import HomaConfig
-from repro.homa.codec import MessageCodec, PlainCodec, EncodedMessage, SegmentPlan
 from repro.homa.engine import HomaTransport
 from repro.homa.socket import HomaSocket, InboundRpc
 

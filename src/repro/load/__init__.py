@@ -1,0 +1,41 @@
+"""Open-loop loaded-slowdown workloads over the leaf-spine fabric.
+
+The package splits into three layers:
+
+- :mod:`repro.load.distributions` — message-size distributions,
+  including compressed renditions of Homa's W3/W4/W5 workload CDFs;
+- :mod:`repro.load.cluster` — per-system any-to-any RPC meshes over a
+  :class:`repro.testbed.ClosTestbed`, with an integrity-verified echo
+  protocol;
+- :mod:`repro.load.engine` — Poisson open-loop arrival generation at a
+  target load fraction, per-size unloaded-baseline calibration and
+  slowdown aggregation.
+"""
+
+from repro.load.cluster import SERVER_PORT, SYSTEMS, ClusterHarness
+from repro.load.distributions import (
+    HOMA_W3,
+    HOMA_W4,
+    HOMA_W5,
+    WORKLOADS,
+    CdfSizes,
+    FixedSize,
+    SizeDistribution,
+)
+from repro.load.engine import LoadResult, OpenLoopEngine, wire_bytes
+
+__all__ = [
+    "SERVER_PORT",
+    "SYSTEMS",
+    "ClusterHarness",
+    "HOMA_W3",
+    "HOMA_W4",
+    "HOMA_W5",
+    "WORKLOADS",
+    "CdfSizes",
+    "FixedSize",
+    "SizeDistribution",
+    "LoadResult",
+    "OpenLoopEngine",
+    "wire_bytes",
+]

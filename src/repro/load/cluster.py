@@ -1,0 +1,288 @@
+"""Per-system RPC stacks across every host of a :class:`ClosTestbed`.
+
+The loaded-slowdown experiments compare the paper's contestants under
+identical fabric conditions, so this module wires one complete
+any-to-any RPC mesh per system:
+
+- ``homa`` / ``smt`` — one :class:`HomaTransport` + single
+  :class:`HomaSocket` per host (the paper's one-socket-for-all-peers
+  property); ``smt`` adds a pre-keyed :class:`SmtCodec` per peer with
+  deterministic pairwise traffic keys.
+- ``tcp`` / ``ktls`` — one established bytestream connection per
+  *ordered* host pair with pipelined RPC framing
+  (:class:`repro.apps.rpc.RpcChannel`); ``ktls`` encrypts in software
+  mode.
+
+Every RPC carries an integrity protocol: the request body is a
+position-dependent fill derived from the message serial, the server
+verifies it before echoing a response fill back, and the client verifies
+that.  A single swapped, duplicated or cross-wired record anywhere in
+segmentation, ECMP forwarding or reassembly surfaces as a counted
+integrity error instead of a silent pass — this is the check behind the
+``loaded`` benchmark's "no cross-path reordering" band.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Any, Generator, Optional
+
+from repro.apps.rpc import RpcChannel
+from repro.core.codec import SmtCodec
+from repro.core.session import SmtSession
+from repro.homa import HomaConfig, HomaSocket, HomaTransport
+from repro.homa.codec import PlainCodec, packets_per_segment_for
+from repro.ktls import ktls_pair
+from repro.net.headers import PROTO_HOMA, PROTO_SMT
+from repro.tcp import connect_pair
+from repro.testbed import ClosTestbed
+from repro.tls.keyschedule import TrafficKeys
+
+SYSTEMS = ("tcp", "ktls", "homa", "smt")
+SERVER_PORT = 7000
+#: AEAD implementation used for ktls/smt stacks (virtual-time costs are
+#: charged as AES-128-GCM regardless; see repro.host.costs).
+LOAD_AEAD = "fast"
+
+# -- message integrity protocol ---------------------------------------------------
+
+#: serial (8) + response size (4) + status (4): 0=request, 1=ok, 2=bad request.
+_HDR = struct.Struct("!QII")
+HEADER_SIZE = _HDR.size
+MIN_MESSAGE = HEADER_SIZE + 8
+_RESP_SALT = 0xA5A5_5A5A_0F0F_F0F0
+
+_POS_CACHE: dict[int, int] = {}
+
+
+def _fill(serial: int, n: int) -> bytes:
+    """``n`` bytes where every 8-byte block depends on position and serial.
+
+    Position dependence means a swapped pair of blocks anywhere in the
+    message changes the bytes — reassembly must put every record at its
+    exact offset for the fill to verify.
+    """
+    blocks = (n + 7) // 8
+    nb = blocks * 8
+    pos = _POS_CACHE.get(nb)
+    if pos is None:
+        pos = int.from_bytes(
+            b"".join(i.to_bytes(8, "big") for i in range(blocks)), "big"
+        )
+        _POS_CACHE[nb] = pos
+    rep = int.from_bytes(serial.to_bytes(8, "big") * blocks, "big")
+    return (pos ^ rep).to_bytes(nb, "big")[:n]
+
+
+def build_request(serial: int, size: int, response_size: int) -> bytes:
+    """A ``size``-byte request asking for a ``response_size``-byte reply."""
+    if size < MIN_MESSAGE or response_size < MIN_MESSAGE:
+        raise ValueError(f"message sizes below {MIN_MESSAGE} B")
+    return _HDR.pack(serial, response_size, 0) + _fill(serial, size)[HEADER_SIZE:]
+
+
+def handle_request(payload: bytes) -> tuple[bytes, bool]:
+    """Server side: verify the request fill, build the response.
+
+    Returns ``(response, request_ok)``; a corrupted request is still
+    answered (status 2) so the client can count it rather than time out.
+    """
+    serial, response_size, _status = _HDR.unpack_from(payload)
+    ok = payload[HEADER_SIZE:] == _fill(serial, len(payload))[HEADER_SIZE:]
+    body = _fill(serial ^ _RESP_SALT, response_size)[HEADER_SIZE:]
+    return _HDR.pack(serial, response_size, 1 if ok else 2) + body, ok
+
+
+def verify_response(payload: bytes, serial: int, response_size: int) -> bool:
+    """Client side: serial echo, server verdict and response fill intact."""
+    if len(payload) != response_size:
+        return False
+    got_serial, got_size, status = _HDR.unpack_from(payload)
+    if got_serial != serial or got_size != response_size or status != 1:
+        return False
+    expected = _fill(serial ^ _RESP_SALT, response_size)[HEADER_SIZE:]
+    return payload[HEADER_SIZE:] == expected
+
+
+def _pair_keys(tx_addr: int, rx_addr: int) -> TrafficKeys:
+    """Deterministic per-direction traffic keys for a host pair."""
+    packed = struct.pack("!II", tx_addr, rx_addr)
+    return TrafficKeys(
+        key=hashlib.blake2b(packed, digest_size=16, key=b"load-key").digest(),
+        iv=hashlib.blake2b(packed, digest_size=12, key=b"load-iv").digest(),
+    )
+
+
+class _StreamRpcClient:
+    """Pipelined RPCs over one bytestream channel (one reader loop).
+
+    Sends are serialised through a tiny cooperative mutex: a kTLS
+    ``send`` spans several simulation steps (encrypt, then stream
+    writes), so two open-loop senders interleaving mid-record would
+    corrupt the framing — real sockets serialise concurrent writers the
+    same way.
+    """
+
+    def __init__(self, loop, thread, channel):
+        self.loop = loop
+        self.thread = thread
+        self.rpc = RpcChannel(channel)
+        self._pending: dict[int, Any] = {}
+        self._reader_running = False
+        self._send_busy = False
+        self._send_waiters: list = []
+
+    def call(self, payload: bytes) -> Generator[Any, Any, bytes]:
+        while self._send_busy:
+            gate = self.loop.event()
+            self._send_waiters.append(gate)
+            yield gate
+        self._send_busy = True
+        try:
+            req_id = yield from self.rpc.send_request(self.thread, payload)
+        finally:
+            self._send_busy = False
+            if self._send_waiters:
+                self._send_waiters.pop(0).succeed(None)
+        event = self.loop.event()
+        self._pending[req_id] = event
+        if not self._reader_running:
+            self._reader_running = True
+            self.loop.process(self._reader())
+        response = yield event
+        return response
+
+    def _reader(self):
+        while self._pending:
+            req_id, payload = yield from self.rpc.recv_response(self.thread)
+            event = self._pending.pop(req_id, None)
+            if event is not None:
+                event.succeed(payload)
+        self._reader_running = False
+
+
+class ClusterHarness:
+    """One system's any-to-any RPC mesh plus verifying echo servers."""
+
+    def __init__(
+        self,
+        bed: ClosTestbed,
+        system: str,
+        config: Optional[HomaConfig] = None,
+        num_server_threads: int = 4,
+    ):
+        if system not in SYSTEMS:
+            raise ValueError(f"unknown system {system!r}; pick from {SYSTEMS}")
+        self.bed = bed
+        self.system = system
+        self.hosts = bed.hosts
+        #: Requests whose fill failed server-side verification.
+        self.server_integrity_errors = 0
+        self._socks: list[HomaSocket] = []
+        self._stream_clients: dict[tuple[int, int], _StreamRpcClient] = {}
+        if system in ("homa", "smt"):
+            self._build_message_mesh(config, num_server_threads)
+        else:
+            self._build_stream_mesh()
+
+    # -- construction -----------------------------------------------------------
+
+    def _build_message_mesh(
+        self, config: Optional[HomaConfig], num_server_threads: int
+    ) -> None:
+        encrypted = self.system == "smt"
+        proto = PROTO_SMT if encrypted else PROTO_HOMA
+        for host in self.hosts:
+            transport = HomaTransport(host, config, proto=proto)
+            if encrypted:
+                pps = packets_per_segment_for(host.nic.tso_mode)
+                codecs: dict[int, SmtCodec] = {}
+
+                def provider(addr, port, host=host, codecs=codecs, pps=pps):
+                    codec = codecs.get(addr)
+                    if codec is None:
+                        codec = SmtCodec(
+                            SmtSession(
+                                _pair_keys(host.addr, addr),
+                                _pair_keys(addr, host.addr),
+                                aead_kind=LOAD_AEAD,
+                            ),
+                            host.costs,
+                            host.nic.num_queues,
+                            packets_per_segment=pps,
+                        )
+                        codecs[addr] = codec
+                    return codec
+
+                sock = HomaSocket(transport, SERVER_PORT, codec_provider=provider)
+            else:
+                pps = packets_per_segment_for(host.nic.tso_mode)
+                plain = PlainCodec(proto, packets_per_segment=pps)
+                sock = HomaSocket(
+                    transport, SERVER_PORT, codec_provider=lambda a, p, c=plain: c
+                )
+            self._socks.append(sock)
+        for i, host in enumerate(self.hosts):
+            for k in range(num_server_threads):
+                self.bed.loop.process(self._serve_messages(i, k))
+
+    def _serve_messages(self, i: int, k: int):
+        sock = self._socks[i]
+        thread = self.hosts[i].app_thread(k)
+        while True:
+            rpc = yield from sock.recv_request(thread)
+            response, ok = handle_request(rpc.payload)
+            if not ok:
+                self.server_integrity_errors += 1
+            yield from sock.reply(thread, rpc, response)
+
+    def _build_stream_mesh(self) -> None:
+        mode = "sw" if self.system == "ktls" else None
+        port = SERVER_PORT
+        for i, src in enumerate(self.hosts):
+            for j, dst in enumerate(self.hosts):
+                if i == j:
+                    continue
+                port += 1
+                conn_c, conn_s = connect_pair(src, dst, port)
+                client_keys = _pair_keys(src.addr, dst.addr)
+                server_keys = _pair_keys(dst.addr, src.addr)
+                chan_c, chan_s = ktls_pair(
+                    conn_c, conn_s, mode, client_keys, server_keys,
+                    aead_kind=LOAD_AEAD,
+                )
+                ordinal = len(self._stream_clients)
+                self._stream_clients[(i, j)] = _StreamRpcClient(
+                    self.bed.loop, src.app_thread(ordinal), chan_c
+                )
+                self.bed.loop.process(
+                    self._serve_stream(chan_s, dst.app_thread(ordinal))
+                )
+
+    def _serve_stream(self, channel, thread):
+        rpc = RpcChannel(channel)
+        while True:
+            req_id, payload = yield from rpc.recv_request(thread)
+            response, ok = handle_request(payload)
+            if not ok:
+                self.server_integrity_errors += 1
+            yield from rpc.send_response(thread, req_id, response)
+
+    # -- engine-facing ------------------------------------------------------------
+
+    def thread_for(self, src: int, serial: int):
+        """A source-host app thread, rotated per RPC serial."""
+        return self.hosts[src].app_thread(serial)
+
+    def call(
+        self, src: int, dst: int, thread, payload: bytes
+    ) -> Generator[Any, Any, bytes]:
+        """One RPC from host ``src`` to host ``dst``; returns the response."""
+        if self._socks:
+            response = yield from self._socks[src].call(
+                thread, self.hosts[dst].addr, SERVER_PORT, payload
+            )
+            return response
+        response = yield from self._stream_clients[(src, dst)].call(payload)
+        return response

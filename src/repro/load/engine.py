@@ -1,0 +1,270 @@
+"""Open-loop load generation and the loaded-slowdown metric.
+
+Homa's evaluation style: messages arrive by a Poisson process at a
+target fraction of link capacity whether or not earlier messages have
+finished (open loop — queueing delay compounds instead of throttling the
+offered load), sizes come from a workload distribution, and each
+message's *slowdown* is its observed RTT divided by the best-case RTT an
+identical message sees on the unloaded fabric.  p50 slowdown ~1 means
+the median message is unaffected by load; p99 is the tail the paper's
+datacenter-transport arguments are about.
+
+The engine is deterministic end to end: per-sender ``random.Random``
+streams (seeded from the engine seed and the sender index) drive
+inter-arrival gaps, destination choice and size sampling, so a given
+(topology, system, load, seed) tuple replays the identical packet-level
+run — the benchmark's band checks rely on that.
+
+Baseline calibration exploits the workload distributions' finite
+support: before load starts, every distinct size is measured once
+intra-rack and once cross-rack on the idle fabric, and each loaded RPC
+is normalised by the baseline matching its size and path class.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from math import ceil
+
+from repro.errors import ReproError
+from repro.load.cluster import (
+    MIN_MESSAGE,
+    ClusterHarness,
+    build_request,
+    verify_response,
+)
+from repro.load.distributions import SizeDistribution
+from repro.net.headers import HEADERS_SIZE
+from repro.sim.trace import Histogram
+
+#: Default reply size: slowdown measures request delivery plus a small
+#: fixed-cost response, like an RPC ack.
+DEFAULT_RESPONSE = 64
+
+
+def wire_bytes(size: int, mtu: int) -> int:
+    """Payload plus per-packet header bytes at the given MTU."""
+    mss = mtu - HEADERS_SIZE
+    packets = max(1, ceil(size / mss))
+    return size + packets * HEADERS_SIZE
+
+
+@dataclass
+class LoadResult:
+    """One system's loaded run: counts, slowdown stats, fabric evidence."""
+
+    system: str
+    load: float
+    duration: float
+    issued: int = 0
+    completed: int = 0
+    failed: int = 0
+    #: Responses that failed client-side verification plus requests the
+    #: servers flagged — any nonzero value means bytes were reassembled
+    #: wrong somewhere.
+    integrity_errors: int = 0
+    achieved_bytes: int = 0
+    slowdowns: Histogram = field(default_factory=Histogram)
+    per_size: dict[int, Histogram] = field(default_factory=dict)
+    #: (size, cross_rack) -> unloaded best-case RTT in seconds.
+    baseline_rtt: dict = field(default_factory=dict)
+    spine_spread: list = field(default_factory=list)
+
+    @property
+    def p50(self) -> float:
+        return self.slowdowns.p50()
+
+    @property
+    def p99(self) -> float:
+        return self.slowdowns.p99()
+
+    @property
+    def mean(self) -> float:
+        return self.slowdowns.mean()
+
+
+class OpenLoopEngine:
+    """Drive one :class:`ClusterHarness` at a target load fraction."""
+
+    def __init__(
+        self,
+        harness: ClusterHarness,
+        distribution: SizeDistribution,
+        load: float,
+        duration: float,
+        seed: int = 0,
+        response_size: int = DEFAULT_RESPONSE,
+        max_drain: float = 0.5,
+    ):
+        if not 0.0 < load < 1.0:
+            raise ValueError(f"load fraction {load} outside (0, 1)")
+        self.harness = harness
+        self.bed = harness.bed
+        self.dist = distribution
+        self.load = load
+        self.duration = duration
+        self.seed = seed
+        self.response_size = max(response_size, MIN_MESSAGE)
+        self.max_drain = max_drain
+        mtu = self.bed.fabric.mtu
+        sizes = distribution.support()
+        if min(sizes) < MIN_MESSAGE:
+            raise ValueError(
+                f"distribution {distribution.name} has sizes below {MIN_MESSAGE} B"
+            )
+        # Mean bytes one message puts on the sender's uplink (request) —
+        # the response rides the reverse direction and is excluded, so
+        # ``load`` is the uplink utilisation target.
+        if hasattr(distribution, "probabilities"):
+            mean_wire = sum(
+                wire_bytes(s, mtu) * p for s, p in distribution.probabilities()
+            )
+        else:
+            mean_wire = float(wire_bytes(int(distribution.mean()), mtu))
+        self.per_sender_rate = (
+            load * self.bed.fabric.bandwidth / (8.0 * mean_wire)
+        )
+        obs = self.bed.obs
+        if obs is not None:
+            # p50/p99 aggregation through the observability registry, so
+            # snapshots and golden traces see the same histogram.
+            self.result_hist = obs.metrics.histogram("load.slowdown")
+        else:
+            self.result_hist = Histogram("load.slowdown")
+        self.result = LoadResult(
+            system=harness.system, load=load, duration=duration,
+            slowdowns=self.result_hist,
+        )
+        self._serial = 0
+        self._cross_of: dict[tuple[int, int], bool] = {}
+
+    # -- calibration --------------------------------------------------------------
+
+    def _pick_pairs(self) -> dict[bool, tuple[int, int]]:
+        """A representative (src, dst) host-index pair per path class."""
+        fabric = self.bed.fabric
+        racks: dict[int, list[int]] = {}
+        for idx, host in enumerate(self.harness.hosts):
+            racks.setdefault(fabric.rack_of(host.addr), []).append(idx)
+        pairs: dict[bool, tuple[int, int]] = {}
+        ordered = sorted(racks)
+        first = racks[ordered[0]]
+        if len(first) >= 2:
+            pairs[False] = (first[0], first[1])
+        if len(ordered) >= 2:
+            pairs[True] = (first[0], racks[ordered[1]][0])
+        if not pairs:
+            raise ReproError("cluster too small: need 2 hosts")
+        return pairs
+
+    def calibrate(self) -> dict:
+        """Measure the unloaded best-case RTT per (size, path class)."""
+        pairs = self._pick_pairs()
+        loop = self.bed.loop
+
+        def body():
+            for cross, (src, dst) in sorted(pairs.items()):
+                for size in self.dist.support():
+                    serial = self._next_serial()
+                    request = build_request(serial, size, self.response_size)
+                    thread = self.harness.thread_for(src, serial)
+                    t0 = loop.now
+                    response = yield from self.harness.call(
+                        src, dst, thread, request
+                    )
+                    if not verify_response(response, serial, self.response_size):
+                        raise ReproError(
+                            f"calibration integrity failure at {size} B"
+                        )
+                    self.result.baseline_rtt[(size, cross)] = loop.now - t0
+
+        done = loop.process(body())
+        self.bed.run(until=loop.now + 2.0)
+        if not done.triggered:
+            raise ReproError("baseline calibration deadlocked")
+        if not done.ok:
+            raise done.value
+        measured = {cross for _, cross in self.result.baseline_rtt}
+        if False not in measured:
+            # Single-host racks: fall back to cross-rack baselines.
+            for (size, cross), rtt in list(self.result.baseline_rtt.items()):
+                if cross:
+                    self.result.baseline_rtt[(size, False)] = rtt
+        if True not in measured:
+            for (size, cross), rtt in list(self.result.baseline_rtt.items()):
+                if not cross:
+                    self.result.baseline_rtt[(size, True)] = rtt
+        return self.result.baseline_rtt
+
+    # -- the loaded run -----------------------------------------------------------
+
+    def _next_serial(self) -> int:
+        self._serial += 1
+        return self._serial
+
+    def _is_cross(self, src: int, dst: int) -> bool:
+        cached = self._cross_of.get((src, dst))
+        if cached is None:
+            fabric = self.bed.fabric
+            cached = fabric.rack_of(
+                self.harness.hosts[src].addr
+            ) != fabric.rack_of(self.harness.hosts[dst].addr)
+            self._cross_of[(src, dst)] = cached
+        return cached
+
+    def _one_rpc(self, src: int, dst: int, size: int, serial: int):
+        loop = self.bed.loop
+        thread = self.harness.thread_for(src, serial)
+        request = build_request(serial, size, self.response_size)
+        t0 = loop.now
+        try:
+            response = yield from self.harness.call(src, dst, thread, request)
+        except ReproError:
+            self.result.failed += 1
+            return
+        rtt = loop.now - t0
+        if not verify_response(response, serial, self.response_size):
+            self.result.integrity_errors += 1
+        base = self.result.baseline_rtt[(size, self._is_cross(src, dst))]
+        slowdown = rtt / base
+        self.result_hist.record(slowdown)
+        self.result.per_size.setdefault(size, Histogram()).record(slowdown)
+        self.result.achieved_bytes += size + self.response_size
+        self.result.completed += 1
+
+    def _arrivals(self, src: int, end_time: float):
+        loop = self.bed.loop
+        rng = random.Random(self.seed * 1_000_003 + src)
+        num_hosts = len(self.harness.hosts)
+        while True:
+            yield loop.timeout(rng.expovariate(self.per_sender_rate))
+            if loop.now >= end_time:
+                return
+            dst = rng.randrange(num_hosts - 1)
+            if dst >= src:
+                dst += 1
+            size = self.dist.sample(rng)
+            serial = self._next_serial()
+            self.result.issued += 1
+            loop.process(self._one_rpc(src, dst, size, serial))
+
+    def run(self) -> LoadResult:
+        """Calibrate, generate ``duration`` seconds of load, drain, report."""
+        if not self.result.baseline_rtt:
+            self.calibrate()
+        loop = self.bed.loop
+        end_time = loop.now + self.duration
+        for src in range(len(self.harness.hosts)):
+            loop.process(self._arrivals(src, end_time))
+        self.bed.run(until=end_time)
+        # Drain: open-loop arrivals have stopped; give in-flight RPCs
+        # (including loss recovery) bounded time to finish.
+        deadline = end_time + self.max_drain
+        while loop.now < deadline and (
+            self.result.completed + self.result.failed < self.result.issued
+        ):
+            self.bed.run(until=min(deadline, loop.now + 0.01))
+        self.result.integrity_errors += self.harness.server_integrity_errors
+        self.result.spine_spread = self.bed.fabric.spine_spread()
+        return self.result

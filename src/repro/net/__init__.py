@@ -8,13 +8,23 @@ and optional loss injection.
 """
 
 from repro.net.addressing import FlowTuple, format_addr
-from repro.net.headers import IPv4Header, TransportHeader, PacketType, PROTO_TCP, PROTO_SMT, PROTO_HOMA
-from repro.net.packet import Packet
-from repro.net.link import Link
-from repro.net.switch import Switch
+from repro.net.clos import ClosFabric, ecmp_hash
 from repro.net.faults import FaultConfig, FaultInjector, schedule_from_seed
+from repro.net.headers import (
+    PROTO_HOMA,
+    PROTO_SMT,
+    PROTO_TCP,
+    IPv4Header,
+    PacketType,
+    TransportHeader,
+)
+from repro.net.link import Link
+from repro.net.packet import Packet
+from repro.net.switch import Switch
 
 __all__ = [
+    "ClosFabric",
+    "ecmp_hash",
     "FlowTuple",
     "format_addr",
     "IPv4Header",

@@ -1,0 +1,187 @@
+"""Leaf-spine (two-tier Clos) fabric with deterministic flow-hash ECMP.
+
+The star topology (``repro.net.fabric``) funnels every host through one
+switch; datacenter transports are evaluated on multi-rack fabrics where
+cross-rack traffic load-balances over several spine switches (Homa's
+evaluation topology, and the environment the paper's §7 fabric-
+compatibility argument assumes).  This module wires ``N`` racks of hosts
+to per-rack leaf :class:`~repro.net.switch.Switch` instances and ``S``
+spine switches:
+
+- every host hangs off its rack's leaf via a :class:`FabricPort` access
+  link (own serialisation, like a NIC cable);
+- every leaf has one *trunk* port up to each spine, and every spine one
+  trunk down to each leaf — trunks are ordinary switch egress ports, so
+  strict-priority queues, bounded buffers and NDP trimming apply at
+  every hop;
+- leaves route intra-rack traffic straight to the destination port and
+  spread cross-rack traffic over the spines by hashing the flow 5-tuple
+  (ECMP).  The hash is a pure function of the flow and the fabric's
+  ``ecmp_salt``, so every packet of a flow rides one spine — no
+  cross-path reordering can break SMT's composite-seqno record
+  reassembly — and the whole spread is replayable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SimulationError
+from repro.net.addressing import FlowTuple
+from repro.net.fabric import FabricPort
+from repro.net.packet import Packet
+from repro.net.switch import PortKey, Switch
+from repro.sim.event_loop import EventLoop
+from repro.units import GBPS
+
+
+def ecmp_hash(packet: Packet, salt: int = 0) -> int:
+    """Deterministic per-flow hash: equal for every packet of one flow."""
+    t = packet.transport
+    flow = FlowTuple(
+        packet.ip.src_addr, t.src_port, packet.ip.dst_addr, t.dst_port,
+        packet.ip.proto,
+    )
+    h = flow.rss_hash()
+    if salt:
+        # Mix the salt in nonlinearly (murmur-style finalizer): a plain
+        # XOR would flip the same bits of every flow's hash, merely
+        # permuting spine labels instead of reshuffling flows.
+        h = (h ^ (salt * 0x9E3779B97F4A7C15)) & 0xFFFFFFFFFFFFFFFF
+        h ^= h >> 33
+        h = (h * 0xFF51AFD7ED558CCD) & 0xFFFFFFFFFFFFFFFF
+    h ^= h >> 29
+    return h
+
+
+class ClosFabric:
+    """``num_racks`` leaves x ``num_spines`` spines, ECMP across spines."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        num_racks: int,
+        num_spines: int,
+        bandwidth_bps: float = 100 * GBPS,
+        trunk_bandwidth_bps: Optional[float] = None,
+        host_link_delay: float = 0.5e-6,
+        trunk_delay: float = 0.5e-6,
+        mtu: int = 1500,
+        buffer_bytes: int = 128 * 1024,
+        trunk_buffer_bytes: Optional[int] = None,
+        trimming: bool = False,
+        ecmp_salt: int = 0,
+    ):
+        if num_racks < 1 or num_spines < 1:
+            raise SimulationError("a Clos fabric needs >= 1 rack and >= 1 spine")
+        self.loop = loop
+        self.num_racks = num_racks
+        self.num_spines = num_spines
+        self.bandwidth = bandwidth_bps
+        self.trunk_bandwidth = (
+            trunk_bandwidth_bps if trunk_bandwidth_bps is not None else bandwidth_bps
+        )
+        self.host_link_delay = host_link_delay
+        self.trunk_delay = trunk_delay
+        self.mtu = mtu
+        self.ecmp_salt = ecmp_salt
+        trunk_buffer = (
+            trunk_buffer_bytes if trunk_buffer_bytes is not None else buffer_bytes
+        )
+        self.leaves = [
+            Switch(
+                loop, bandwidth_bps=bandwidth_bps, delay=host_link_delay,
+                buffer_bytes=buffer_bytes, trimming=trimming,
+            )
+            for _ in range(num_racks)
+        ]
+        self.spines = [
+            Switch(
+                loop, bandwidth_bps=self.trunk_bandwidth, delay=trunk_delay,
+                buffer_bytes=trunk_buffer, trimming=trimming,
+            )
+            for _ in range(num_spines)
+        ]
+        # Packets each leaf steered up to each spine: [rack][spine].
+        self.spine_packets = [[0] * num_spines for _ in range(num_racks)]
+        self._rack_of: dict[int, int] = {}
+        self._ports: dict[int, FabricPort] = {}
+        for rack, leaf in enumerate(self.leaves):
+            for s, spine in enumerate(self.spines):
+                leaf.add_trunk(
+                    f"spine{s}", spine.inject,
+                    bandwidth_bps=self.trunk_bandwidth, delay=trunk_delay,
+                    buffer_bytes=trunk_buffer,
+                )
+                spine.add_trunk(
+                    f"rack{rack}", leaf.inject,
+                    bandwidth_bps=self.trunk_bandwidth, delay=trunk_delay,
+                    buffer_bytes=trunk_buffer,
+                )
+            leaf.set_router(self._leaf_router(rack))
+        for spine in self.spines:
+            spine.set_router(self._spine_router)
+
+    # -- topology ----------------------------------------------------------------
+
+    def attach_host(self, rack: int, addr: int) -> FabricPort:
+        """Register ``addr`` in ``rack``; returns its NIC-facing access port."""
+        if not 0 <= rack < self.num_racks:
+            raise SimulationError(f"rack {rack} out of range")
+        if addr in self._rack_of:
+            raise SimulationError(f"address {addr} already attached")
+        self._rack_of[addr] = rack
+        port = FabricPort(self, addr, switch=self.leaves[rack])
+        self._ports[addr] = port
+        return port
+
+    def port(self, addr: int) -> FabricPort:
+        """The access port of an already-attached host."""
+        port = self._ports.get(addr)
+        if port is None:
+            raise SimulationError(f"address {addr} not attached")
+        return port
+
+    def rack_of(self, addr: int) -> int:
+        rack = self._rack_of.get(addr)
+        if rack is None:
+            raise SimulationError(f"no rack for destination {addr}")
+        return rack
+
+    # -- routing ------------------------------------------------------------------
+
+    def _leaf_router(self, rack: int):
+        def route(packet: Packet) -> PortKey:
+            dst = packet.ip.dst_addr
+            home = self.rack_of(dst)
+            if home == rack:
+                return dst
+            spine = ecmp_hash(packet, self.ecmp_salt) % self.num_spines
+            self.spine_packets[rack][spine] += 1
+            return f"spine{spine}"
+
+        return route
+
+    def _spine_router(self, packet: Packet) -> PortKey:
+        return f"rack{self.rack_of(packet.ip.dst_addr)}"
+
+    # -- accounting ---------------------------------------------------------------
+
+    def spine_spread(self) -> list[int]:
+        """Upward packets per spine, summed over all leaves."""
+        return [
+            sum(per_rack[s] for per_rack in self.spine_packets)
+            for s in range(self.num_spines)
+        ]
+
+    def stats(self) -> dict:
+        """Aggregated fabric counters (drops/trims per tier + ECMP spread)."""
+        leaf = {"dropped": 0, "trimmed": 0, "queued": 0}
+        for sw in self.leaves:
+            for field, value in sw.totals().items():
+                leaf[field] += value
+        spine = {"dropped": 0, "trimmed": 0, "queued": 0}
+        for sw in self.spines:
+            for field, value in sw.totals().items():
+                spine[field] += value
+        return {"leaf": leaf, "spine": spine, "spine_spread": self.spine_spread()}

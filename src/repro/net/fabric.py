@@ -22,19 +22,26 @@ from repro.units import GBPS
 
 
 class FabricPort:
-    """A host's attachment point: looks like a Link to the NIC."""
+    """A host's attachment point: looks like a Link to the NIC.
 
-    def __init__(self, fabric: "SwitchFabric", addr: int):
+    ``fabric`` may be any object exposing ``loop``, ``mtu``, ``bandwidth``
+    and ``host_link_delay``; ``switch`` names the edge switch this host
+    hangs off (defaults to ``fabric.switch`` for single-switch fabrics,
+    and is the host's leaf in :class:`repro.net.clos.ClosFabric`).
+    """
+
+    def __init__(self, fabric, addr: int, switch: Optional[Switch] = None):
         self._fabric = fabric
         self._addr = addr
+        self._switch = switch if switch is not None else fabric.switch
         self.mtu = fabric.mtu
         # Host -> switch egress with its own serialisation.
         self._egress = _Direction(fabric.loop, fabric.bandwidth, fabric.host_link_delay)
-        self._egress.receiver = fabric.switch.inject
+        self._egress.receiver = self._switch.inject
 
     def attach(self, side: str, receiver: Receiver) -> None:
         """Register this host's packet handler (side is ignored)."""
-        self._fabric.switch.attach(self._addr, receiver)
+        self._switch.attach(self._addr, receiver)
 
     def send(self, side: str, packet: Packet) -> None:
         if packet.size > self.mtu:

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, fields
-from typing import Callable, Optional
+from typing import Callable
 
 from repro.errors import SimulationError
 from repro.net.packet import Packet

@@ -6,12 +6,20 @@ includes a minimal switch: ports bound to host addresses, strict-priority
 output queues, bounded buffers with optional NDP-style packet trimming
 (paper §7 notes SMT's compatibility with trimming because transport
 metadata stays in plaintext).
+
+Two extensions turn the single switch into a building block for
+multi-tier fabrics (``repro.net.clos``): *trunk ports* — egress ports
+named by string rather than bound to one destination address, feeding
+another switch's ``inject`` — and a pluggable *router* that maps each
+packet to the port key it should leave through (per-destination by
+default).  Trunks reuse the exact same ``_Port`` machinery, so strict
+priorities, bounded buffers and trimming apply at every hop.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional, Union
 
 from repro.errors import SimulationError
 from repro.net.link import NUM_PRIORITIES
@@ -24,6 +32,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 Receiver = Callable[[Packet], None]
 Tap = Callable[[Packet, str], None]
+#: Ports are keyed by host address (int) or trunk name (str).
+PortKey = Union[int, str]
+Router = Callable[[Packet], PortKey]
 
 
 class _Port:
@@ -59,7 +70,8 @@ class Switch:
         self._delay = delay
         self._buffer_bytes = buffer_bytes
         self.trimming = trimming
-        self._ports: dict[int, _Port] = {}
+        self._ports: dict[PortKey, _Port] = {}
+        self._router: Optional[Router] = None
 
     def attach(self, addr: int, receiver: Receiver) -> None:
         """Bind a host address to a switch port delivering via ``receiver``."""
@@ -67,11 +79,46 @@ class Switch:
         port.receiver = receiver
         self._ports[addr] = port
 
+    def add_trunk(
+        self,
+        name: str,
+        receiver: Receiver,
+        bandwidth_bps: Optional[float] = None,
+        delay: Optional[float] = None,
+        buffer_bytes: Optional[int] = None,
+    ) -> None:
+        """An inter-switch egress port shared by many destinations.
+
+        ``receiver`` is typically the next switch's :meth:`inject`.  A
+        router must be installed (:meth:`set_router`) for any packet to be
+        steered onto a trunk; per-destination lookup never selects one.
+        """
+        port = _Port(
+            self.loop,
+            bandwidth_bps if bandwidth_bps is not None else self._bandwidth,
+            delay if delay is not None else self._delay,
+            buffer_bytes if buffer_bytes is not None else self._buffer_bytes,
+        )
+        port.receiver = receiver
+        self._ports[name] = port
+
+    def set_router(self, router: Optional[Router]) -> None:
+        """Map each injected packet to the port key it egresses through.
+
+        ``None`` restores the default per-destination-address routing.
+        """
+        self._router = router
+
     def inject(self, packet: Packet) -> None:
-        """A host hands the switch a packet for forwarding."""
-        port = self._ports.get(packet.ip.dst_addr)
+        """A host or upstream switch hands over a packet for forwarding."""
+        key: PortKey
+        if self._router is not None:
+            key = self._router(packet)
+        else:
+            key = packet.ip.dst_addr
+        port = self._ports.get(key)
         if port is None:
-            raise SimulationError(f"no port for destination {packet.ip.dst_addr}")
+            raise SimulationError(f"no port for destination {key}")
         size = packet.wire_size
         if port.queued + size > port.buffer_bytes:
             if self.trimming and packet.payload:
@@ -104,7 +151,7 @@ class Switch:
             # its duration is queueing + serialisation on the virtual clock.
             packet.meta["obs_span"] = obs.tracer.begin(
                 "switch",
-                f"port{packet.ip.dst_addr}",
+                f"port{key}",
                 prio=packet.transport.priority,
                 qdepth=port.queued,
             )
@@ -157,20 +204,33 @@ class Switch:
         if port.tap is not None:
             port.tap(packet, verdict)
 
-    def inject_faults(self, addr: int, injector: Optional["FaultInjector"]) -> None:
-        """Adversarial conditions on the egress port toward host ``addr``."""
+    def inject_faults(self, addr: PortKey, injector: Optional["FaultInjector"]) -> None:
+        """Adversarial conditions on the egress port ``addr`` (host or trunk)."""
         port = self._ports.get(addr)
         if port is None:
             raise SimulationError(f"no port for address {addr}")
         port.fault_injector = injector
 
-    def install_tap(self, addr: int, tap: Optional[Tap]) -> None:
-        """Passively observe the egress port toward host ``addr``."""
+    def install_tap(self, addr: PortKey, tap: Optional[Tap]) -> None:
+        """Passively observe the egress port ``addr`` (host or trunk)."""
         port = self._ports.get(addr)
         if port is None:
             raise SimulationError(f"no port for address {addr}")
         port.tap = tap
 
-    def stats(self, addr: int) -> dict:
+    def stats(self, addr: PortKey) -> dict:
         port = self._ports[addr]
         return {"dropped": port.dropped, "trimmed": port.trimmed, "queued": port.queued}
+
+    def port_keys(self) -> list[PortKey]:
+        """Every attached port key (host addresses and trunk names)."""
+        return list(self._ports)
+
+    def totals(self) -> dict:
+        """Drop/trim/queue counters aggregated over every port."""
+        out = {"dropped": 0, "trimmed": 0, "queued": 0}
+        for port in self._ports.values():
+            out["dropped"] += port.dropped
+            out["trimmed"] += port.trimmed
+            out["queued"] += port.queued
+        return out

@@ -15,14 +15,14 @@ Reproduces the hardware behaviours the paper's design hinges on:
   is the §3.2 hazard SMT's per-queue flow contexts avoid.
 """
 
-from repro.nic.tso import TsoMode, TsoSegment, split_segment
+from repro.nic.device import Nic
 from repro.nic.tls_offload import (
     FlowContextTable,
     RecordDescriptor,
     ResyncDescriptor,
     TlsOffloadDescriptor,
 )
-from repro.nic.device import Nic
+from repro.nic.tso import TsoMode, TsoSegment, split_segment
 
 __all__ = [
     "TsoMode",

@@ -24,7 +24,7 @@ it because TCP serialises all transmissions of a connection.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.crypto.aead import Aead

@@ -23,6 +23,8 @@ from repro.sim.event_loop import EventLoop
 from repro.units import GBPS
 
 if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.net.clos import ClosFabric
+    from repro.net.fabric import SwitchFabric
     from repro.obs import Observability
 
 
@@ -242,6 +244,178 @@ class StarTestbed:
             obs.observe_host(client)
         self.obs = obs
         return obs
+
+    def run(self, until: Optional[float] = None) -> float:
+        return self.loop.run(until=until)
+
+
+@dataclass
+class ClosTestbed:
+    """N racks x M hosts behind a leaf-spine fabric with ECMP spines.
+
+    The topology the loaded-slowdown workloads run on
+    (``repro.load``): cross-rack traffic hashes over the spine tier, so
+    tail latency under load reflects multi-hop queueing the way Homa's
+    evaluation measures it.  Offers the same opt-in layers as
+    :class:`Testbed`: ``enable_obs``, ``enable_ctrl`` and
+    ``install_faults``.
+    """
+
+    __test__ = False
+
+    loop: EventLoop
+    fabric: "ClosFabric"
+    racks: list[list[Host]]
+    rng: random.Random = field(default_factory=lambda: random.Random(0))
+    obs: Optional["Observability"] = None
+    # Installed by :meth:`enable_ctrl`; one plane per host, host order.
+    ctrl_planes: Optional[list] = None
+    # Installed by :meth:`install_faults`; {host addr: injector} on the
+    # leaf egress port toward that host.
+    fault_injectors: Optional[dict] = None
+
+    @property
+    def hosts(self) -> list[Host]:
+        """Every host, rack-major order."""
+        return [host for rack in self.racks for host in rack]
+
+    def host(self, rack: int, index: int) -> Host:
+        return self.racks[rack][index]
+
+    @staticmethod
+    def leaf_spine(
+        num_racks: int = 3,
+        hosts_per_rack: int = 4,
+        num_spines: int = 2,
+        bandwidth_bps: float = 100 * GBPS,
+        trunk_bandwidth_bps: Optional[float] = None,
+        mtu: int = 1500,
+        buffer_bytes: int = 128 * 1024,
+        trunk_buffer_bytes: Optional[int] = None,
+        trimming: bool = False,
+        num_app_cores: int = 12,
+        num_softirq_cores: int = 4,
+        tso_mode: TsoMode = TsoMode.FULL,
+        costs: Optional[CostModel] = None,
+        seed: int = 0,
+        ecmp_salt: int = 0,
+    ) -> "ClosTestbed":
+        """Build the fabric and one NIC-attached host per rack slot.
+
+        Host ``i`` of rack ``r`` is named ``r{r}h{i}`` and addressed
+        ``10.(1+r).0.(1+i)``, so the rack is readable off the address.
+        """
+        from repro.net.clos import ClosFabric
+
+        loop = EventLoop()
+        costs = costs or CostModel()
+        fabric = ClosFabric(
+            loop,
+            num_racks=num_racks,
+            num_spines=num_spines,
+            bandwidth_bps=bandwidth_bps,
+            trunk_bandwidth_bps=trunk_bandwidth_bps,
+            mtu=mtu,
+            buffer_bytes=buffer_bytes,
+            trunk_buffer_bytes=trunk_buffer_bytes,
+            trimming=trimming,
+            ecmp_salt=ecmp_salt,
+        )
+        racks: list[list[Host]] = []
+        for r in range(num_racks):
+            rack: list[Host] = []
+            for i in range(hosts_per_rack):
+                host = Host(
+                    loop, f"r{r}h{i}", make_addr(10, 1 + r, 0, 1 + i), costs,
+                    num_app_cores=num_app_cores,
+                    num_softirq_cores=num_softirq_cores,
+                )
+                port = fabric.attach_host(r, host.addr)
+                host.attach_nic(Nic(loop, port, "a", costs, tso_mode=tso_mode))
+                rack.append(host)
+            racks.append(rack)
+        return ClosTestbed(loop, fabric, racks, random.Random(seed))
+
+    def enable_obs(self, capture_capacity: int = 4096) -> "Observability":
+        """Observe every leaf/spine egress port and every host. Idempotent."""
+        if self.obs is not None:
+            return self.obs
+        from repro.obs import Observability
+
+        obs = Observability(self.loop, capture_capacity=capture_capacity)
+        for r, leaf in enumerate(self.fabric.leaves):
+            port_names: dict = {
+                host.addr: host.name for host in self.racks[r]
+            }
+            for s in range(self.fabric.num_spines):
+                port_names[f"spine{s}"] = f"leaf{r}.up{s}"
+            obs.observe_switch(leaf, port_names)
+        for s, spine in enumerate(self.fabric.spines):
+            obs.observe_switch(
+                spine,
+                {f"rack{r}": f"spine{s}.down{r}" for r in range(self.fabric.num_racks)},
+            )
+            obs.metrics.gauge(
+                f"clos.spine{s}.packets",
+                lambda s=s: self.fabric.spine_spread()[s],
+            )
+        for host in self.hosts:
+            obs.observe_host(host)
+        if self.fault_injectors:
+            for host in self.hosts:
+                injector = self.fault_injectors.get(host.addr)
+                if injector is not None:
+                    obs.observe_fault_injector(injector, f"faults.{host.name}")
+        if self.ctrl_planes is not None:
+            for plane in self.ctrl_planes:
+                plane.bind_obs(obs)
+        self.obs = obs
+        return obs
+
+    def enable_ctrl(self, config=None, seed: int = 2025) -> list:
+        """Attach a session-lifecycle control plane to every host.
+
+        Idempotent.  Returns the planes in :attr:`hosts` order; endpoints
+        opt in with ``ctrl=bed.ctrl_planes[i]``.  Per-host seed offsets
+        keep standby-key streams independent yet replayable.
+        """
+        if self.ctrl_planes is not None:
+            return self.ctrl_planes
+        from repro.ctrl import ControlPlane
+
+        self.ctrl_planes = [
+            ControlPlane(host, random.Random(seed + i), config=config)
+            for i, host in enumerate(self.hosts)
+        ]
+        return self.ctrl_planes
+
+    def install_faults(self, faults: FaultConfig, fault_seed: int = 0) -> None:
+        """Seeded fault injectors on every leaf egress port toward a host.
+
+        Each host's downlink gets an independent stream (seed offset by
+        host index), so fates decorrelate while the whole fabric stays
+        replayable from ``fault_seed`` alone.
+        """
+        self.fault_injectors = {}
+        for i, host in enumerate(self.hosts):
+            injector = FaultInjector(
+                self.loop, faults, seed=fault_seed + i, name=f"to.{host.name}"
+            )
+            leaf = self.fabric.leaves[self.fabric.rack_of(host.addr)]
+            leaf.inject_faults(host.addr, injector)
+            self.fault_injectors[host.addr] = injector
+            if self.obs is not None:
+                self.obs.observe_fault_injector(injector, f"faults.{host.name}")
+
+    def fault_stats(self) -> dict:
+        """Per-host-downlink fault counters (empty when clean)."""
+        if not self.fault_injectors:
+            return {}
+        addr_to_name = {host.addr: host.name for host in self.hosts}
+        return {
+            addr_to_name[addr]: injector.stats()
+            for addr, injector in self.fault_injectors.items()
+        }
 
     def run(self, until: Optional[float] = None) -> float:
         return self.loop.run(until=until)

@@ -16,14 +16,14 @@ from repro.tls.constants import (
     RECORD_HEADER_SIZE,
     RECORD_OVERHEAD,
 )
-from repro.tls.record import RecordProtection, TLSRecord
-from repro.tls.keyschedule import KeySchedule, TrafficKeys
 from repro.tls.handshake import (
     ClientHandshake,
-    ServerHandshake,
     HandshakeConfig,
     HandshakeResult,
+    ServerHandshake,
 )
+from repro.tls.keyschedule import KeySchedule, TrafficKeys
+from repro.tls.record import RecordProtection, TLSRecord
 from repro.tls.timing import HandshakeCostModel, HandshakeTimer
 
 __all__ = [

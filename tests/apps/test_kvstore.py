@@ -1,7 +1,5 @@
 """Key-value store tests: protocol, store semantics, both servers."""
 
-import random
-
 import pytest
 
 from repro.apps.kvstore import (

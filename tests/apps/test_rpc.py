@@ -1,7 +1,5 @@
 """RPC framing tests over bytestream channels."""
 
-import pytest
-
 from repro.apps.rpc import RpcChannel, frame
 from repro.errors import ProtocolError
 from repro.ktls import ktls_pair

@@ -1,7 +1,5 @@
 """Multi-host incast over the switch fabric, with and without trimming."""
 
-import pytest
-
 from repro.core.codec import SmtCodec
 from repro.core.session import SmtSession
 from repro.homa import HomaConfig, HomaSocket, HomaTransport

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.core.session import REPLAY_WINDOW_IDS, SmtSession
 from repro.core.seqspace import BitAllocation
+from repro.core.session import REPLAY_WINDOW_IDS, SmtSession
 from repro.errors import ProtocolError
 from repro.tls.keyschedule import TrafficKeys
 

@@ -5,8 +5,6 @@ paper §4.1): replayed messages, bit-flipped records, loss.  These run
 through NIC, link, softirq and app layers -- everything real.
 """
 
-import random
-
 import pytest
 
 from repro.core.codec import SmtCodec
@@ -214,7 +212,6 @@ class TestInjectionDefence:
         # msg_id but garbage "ciphertext": transport accepts the packets,
         # decryption kills it (like TLS/TCP after a correct TCP segment).
         from repro.net.headers import IPv4Header, TransportHeader
-        from repro.core.framing import RECORD_OVERHEAD
         from repro.tls.record import encode_record_header
 
         bed, csock, ssock, *_ = build()

@@ -5,7 +5,6 @@ import random
 import pytest
 
 from repro.core.zero_rtt import (
-    SmtTicket,
     ZeroRttClient,
     ZeroRttServer,
     derive_fs_keys,

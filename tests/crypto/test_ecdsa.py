@@ -6,9 +6,9 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.crypto.ec import N, P256
 from repro.crypto.ecdh import EcdhKeyPair
 from repro.crypto.ecdsa import EcdsaKeyPair, ecdsa_sign, ecdsa_verify
-from repro.crypto.ec import N, P256
 from repro.errors import AuthenticationError, CryptoError
 
 # RFC 6979 appendix A.2.5, curve P-256 with SHA-256.

@@ -9,7 +9,7 @@ seed -- schedule, payloads and injector decisions all derive from it.
 
 import pytest
 
-from repro.net.faults import FaultConfig, schedule_from_seed
+from repro.net.faults import FaultConfig
 
 from tests.fuzz.harness import (
     build_pair,

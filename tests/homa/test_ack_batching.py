@@ -1,7 +1,5 @@
 """Lazy batched ACK tests: implicit acks, batch flush, timer fallback."""
 
-import pytest
-
 from repro.homa import HomaSocket, HomaTransport
 from repro.net.headers import PacketType
 from repro.testbed import Testbed

@@ -1,7 +1,5 @@
 """Homa engine integration tests: RPCs, grants, loss recovery."""
 
-import pytest
-
 from repro.homa import HomaConfig, HomaSocket, HomaTransport
 from repro.net.headers import PacketType
 from repro.testbed import Testbed

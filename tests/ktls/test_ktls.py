@@ -2,14 +2,12 @@
 
 import pytest
 
-from repro.crypto.aead import new_aead
 from repro.errors import AuthenticationError, CryptoError
+from repro.ktls import KtlsConnection, ktls_pair
 from repro.net.headers import PacketType
 from repro.tcp import connect_pair
-from repro.ktls import KtlsConnection, ktls_pair
 from repro.testbed import Testbed
 from repro.tls.keyschedule import TrafficKeys
-from repro.tls.record import RecordProtection
 
 
 def make_bed(mode, **kwargs):

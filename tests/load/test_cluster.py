@@ -1,0 +1,76 @@
+"""The RPC integrity protocol and cluster harness plumbing."""
+
+import pytest
+
+from repro.load.cluster import (
+    HEADER_SIZE,
+    MIN_MESSAGE,
+    ClusterHarness,
+    build_request,
+    handle_request,
+    verify_response,
+)
+from repro.load.cluster import _fill
+
+
+class TestFill:
+    def test_length_and_determinism(self):
+        assert len(_fill(7, 100)) == 100
+        assert _fill(7, 100) == _fill(7, 100)
+        assert _fill(7, 100) != _fill(8, 100)
+
+    def test_position_dependence(self):
+        # Swapping two aligned 8-byte blocks must change the bytes —
+        # that is what catches reassembly placing a record at the wrong
+        # offset even when no byte of the record itself is corrupted.
+        fill = _fill(3, 64)
+        swapped = fill[8:16] + fill[0:8] + fill[16:]
+        assert len(swapped) == len(fill)
+        assert swapped != fill
+
+
+class TestProtocol:
+    def test_roundtrip(self):
+        request = build_request(serial=5, size=256, response_size=64)
+        assert len(request) == 256
+        response, ok = handle_request(request)
+        assert ok
+        assert len(response) == 64
+        assert verify_response(response, serial=5, response_size=64)
+
+    def test_minimum_sizes_enforced(self):
+        with pytest.raises(ValueError):
+            build_request(1, MIN_MESSAGE - 1, 64)
+        with pytest.raises(ValueError):
+            build_request(1, 256, MIN_MESSAGE - 1)
+
+    def test_corrupt_request_detected_and_answered(self):
+        request = bytearray(build_request(9, 256, 64))
+        request[HEADER_SIZE + 10] ^= 0xFF
+        response, ok = handle_request(bytes(request))
+        assert not ok
+        # The server still answers (status 2) so the client counts the
+        # error instead of timing out, and the client rejects the verdict.
+        assert not verify_response(response, serial=9, response_size=64)
+
+    def test_swapped_blocks_detected(self):
+        request = build_request(9, 256, 64)
+        tail = request[HEADER_SIZE:]
+        swapped = request[:HEADER_SIZE] + tail[8:16] + tail[:8] + tail[16:]
+        _, ok = handle_request(swapped)
+        assert not ok
+
+    def test_response_checks(self):
+        request = build_request(5, 256, 64)
+        response, _ = handle_request(request)
+        assert not verify_response(response, serial=6, response_size=64)
+        assert not verify_response(response[:-1], serial=5, response_size=64)
+        assert not verify_response(response, serial=5, response_size=63)
+        corrupted = response[:-1] + bytes([response[-1] ^ 1])
+        assert not verify_response(corrupted, serial=5, response_size=64)
+
+
+class TestHarnessValidation:
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterHarness(None, "quic")

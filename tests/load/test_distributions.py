@@ -1,0 +1,70 @@
+"""Workload size distributions: validation, determinism, moments."""
+
+import random
+
+import pytest
+
+from repro.load import HOMA_W3, HOMA_W4, HOMA_W5, WORKLOADS, CdfSizes, FixedSize
+
+
+class TestFixedSize:
+    def test_degenerate(self):
+        d = FixedSize(4096)
+        rng = random.Random(0)
+        assert {d.sample(rng) for _ in range(10)} == {4096}
+        assert d.mean() == 4096.0
+        assert d.support() == (4096,)
+        assert d.name == "fixed4096"
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            FixedSize(0)
+
+
+class TestCdfSizes:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CdfSizes("empty", [])
+        with pytest.raises(ValueError):
+            CdfSizes("unsorted", [(512, 0.5), (256, 1.0)])
+        with pytest.raises(ValueError):
+            CdfSizes("dup", [(256, 0.5), (256, 1.0)])
+        with pytest.raises(ValueError):
+            CdfSizes("descending", [(256, 0.8), (512, 0.5)])
+        with pytest.raises(ValueError):
+            CdfSizes("short", [(256, 0.5), (512, 0.9)])  # never reaches 1.0
+
+    def test_probabilities_sum_to_one(self):
+        for dist in WORKLOADS.values():
+            probs = dist.probabilities()
+            assert abs(sum(p for _, p in probs) - 1.0) < 1e-9
+            assert all(p > 0 for _, p in probs)
+
+    def test_mean_matches_point_masses(self):
+        d = CdfSizes("half", [(100, 0.5), (300, 1.0)])
+        assert d.mean() == pytest.approx(200.0)
+
+    def test_samples_stay_in_support(self):
+        rng = random.Random(7)
+        support = set(HOMA_W4.support())
+        assert all(HOMA_W4.sample(rng) in support for _ in range(500))
+
+    def test_sampling_is_seed_deterministic(self):
+        rng1, rng2 = random.Random(42), random.Random(42)
+        assert [HOMA_W5.sample(rng1) for _ in range(200)] == [
+            HOMA_W5.sample(rng2) for _ in range(200)
+        ]
+
+    def test_shapes(self):
+        # W3 is tiny-RPC dominated; W5 is large-transfer dominated.
+        rng = random.Random(1)
+        w3 = [HOMA_W3.sample(rng) for _ in range(2000)]
+        w5 = [HOMA_W5.sample(rng) for _ in range(2000)]
+        assert sorted(w3)[len(w3) // 2] <= 256
+        assert sorted(w5)[len(w5) // 2] >= 8192
+
+    def test_registry(self):
+        assert set(WORKLOADS) == {"w3", "w4", "w5"}
+        for name, dist in WORKLOADS.items():
+            assert dist.name == name
+            assert dist.support() == tuple(sorted(dist.support()))

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.net.headers import IPv4Header, PROTO_SMT, PacketType, TransportHeader
+from repro.net.headers import PROTO_SMT, IPv4Header, PacketType, TransportHeader
 from repro.net.link import Link
 from repro.net.packet import Packet
 from repro.sim.event_loop import EventLoop

@@ -16,7 +16,7 @@ from repro.nic.tls_offload import (
     ResyncDescriptor,
     TlsOffloadDescriptor,
 )
-from repro.tls.constants import RECORD_HEADER_SIZE, TAG_SIZE
+from repro.tls.constants import TAG_SIZE
 from repro.tls.record import RecordProtection, encode_record_header
 
 KEY = b"\x11" * 16

@@ -15,8 +15,6 @@ import json
 import pathlib
 import runpy
 
-import pytest
-
 from repro.net.faults import schedule_from_seed
 
 from tests.fuzz.harness import (

@@ -6,7 +6,7 @@ import pytest
 
 from repro.errors import SimulationError
 from repro.obs.metrics import MetricsRegistry
-from repro.sim.trace import Counter, CounterSet, Histogram, RateMeter
+from repro.sim.trace import Counter, CounterSet
 
 
 class TestRegistration:

@@ -1,7 +1,5 @@
 """TCP substrate tests: reliability, ordering, retransmission, HoLB."""
 
-import pytest
-
 from repro.net.headers import PacketType
 from repro.tcp import connect_pair
 from repro.testbed import Testbed

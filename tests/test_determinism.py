@@ -6,8 +6,6 @@ wall time.  These tests re-run full experiments and demand bit-identical
 outcomes.
 """
 
-import pytest
-
 from repro.bench.runner import throughput, unloaded_rtt
 
 

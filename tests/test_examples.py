@@ -6,10 +6,7 @@ captured; assertions inside the examples do the verifying.
 """
 
 import runpy
-import sys
 from pathlib import Path
-
-import pytest
 
 EXAMPLES = Path(__file__).parent.parent / "examples"
 
@@ -48,3 +45,8 @@ class TestExamples:
     def test_incast_trimming(self, capsys):
         out = run_example("incast_trimming.py", capsys)
         assert "trimming ON" in out and "trimming OFF" in out
+
+    def test_leaf_spine_load(self, capsys):
+        out = run_example("leaf_spine_load.py", capsys)
+        assert "integrity errors 0" in out
+        assert "OK: loaded leaf-spine fabric" in out
