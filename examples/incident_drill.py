@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Incident drill: kill a spine, then a replica, and watch recovery.
+
+Runs two scripted failure-domain incidents against the loaded two-rack
+Clos fabric (``repro.net.domain_faults`` + ``repro.load.IncidentEngine``),
+each with the client resilience kit (``repro.resilience``) on and off:
+
+- **spine-down** — spine 0 dies mid-run; BFD-style watchers declare it
+  dead within their heartbeat bound and re-salt ECMP onto the survivor.
+  Flows hashed to the corpse blackhole until the tables reconverge.
+- **replica-crash** — host r1h1 dies with its session table and key
+  pools, then cold-restarts; every surviving host re-handshakes it at
+  once, paying inline server keygen against the emptied pools.
+
+The thing to watch is the *during-outage* p99 slowdown: the kit's
+per-attempt deadlines recover faster than Homa's own RESEND timers, and
+its outage-aware accounting (stale failures don't trip breakers, parked
+calls release splayed) keeps the recovery from congesting itself.
+
+Run:  python examples/incident_drill.py
+"""
+
+from repro.bench.incident import (
+    CRASHED_HOST,
+    FAULT_AT,
+    REVIVE_AT,
+    SCENARIOS,
+    _run_combo,
+)
+
+PHASES = ("before", "during", "after")
+
+
+def main() -> None:
+    print(f"incident drill on 2 racks x 2 hosts, 2 spines: fault at "
+          f"{FAULT_AT * 1e6:.0f} us, revival at {REVIVE_AT * 1e6:.0f} us "
+          f"(crash target: host {CRASHED_HOST})\n")
+    during = {}
+    for scenario in SCENARIOS:
+        for with_kit in (False, True):
+            result, m, kit = _run_combo(scenario, with_kit)
+            label = "kit on " if with_kit else "kit off"
+            det = (f"{m.detection_time * 1e6:5.1f} us"
+                   if m.detection_time is not None else "   -   ")
+            phases = "  ".join(
+                f"{p}={m.phase_p99(p):5.1f}" for p in PHASES
+            )
+            print(f"{scenario:>13} {label}: detect {det}, "
+                  f"recover {m.recovery_time * 1e6:6.1f} us, p99 {phases}, "
+                  f"{result.completed}/{result.issued} done, "
+                  f"{m.blackholed} blackholed")
+            during[(scenario, with_kit)] = m.phase_p99("during")
+            if kit is not None:
+                print(f"{'':>22}kit: {kit.retries} retries, {kit.parked} parked, "
+                      f"{kit.splayed} splayed, {kit.fail_fast} fail-fast")
+            if m.rehandshake is not None:
+                rh = m.rehandshake
+                print(f"{'':>22}storm: {rh['completed']} re-handshakes, "
+                      f"{rh['server_inline_keygens']} inline server keygens, "
+                      f"slowest {rh['max_duration'] * 1e6:.1f} us")
+        print()
+    for scenario in SCENARIOS:
+        assert during[(scenario, True)] < during[(scenario, False)], scenario
+    print("Both incidents: every issued RPC completed, and the kit cut the")
+    print("during-outage p99 in both scenarios -- detection-bounded fail-fast")
+    print("beats waiting out transport resend timers, as long as recovery is")
+    print("splayed instead of stampeding the freshly revived domain.")
+    print("OK: incident drill survived, kit strictly improved the tail.")
+
+
+if __name__ == "__main__":
+    main()

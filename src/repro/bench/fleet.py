@@ -32,6 +32,7 @@ from repro.bench import (
     fig10,
     fig11,
     fig12,
+    incident,
     loaded,
     perf,
     table1,
@@ -58,10 +59,11 @@ EXPERIMENTS = {
     "perf": perf.run,
     "churn": churn.run,
     "loaded": loaded.run,
+    "incident": incident.run,
 }
 
 # Experiments whose run() accepts quick=True for a scaled-down CI pass.
-_QUICK_AWARE = {"perf", "churn", "loaded"}
+_QUICK_AWARE = {"perf", "churn", "loaded", "incident"}
 
 
 @dataclass

@@ -104,3 +104,17 @@ class KeyPool:
         if self._refill_timer is not None:
             self._refill_timer.cancel()
             self._refill_timer = None
+
+    def clear(self) -> int:
+        """Discard the entire stock (process crash: keys die with it).
+
+        Also cancels any pending refill -- a dead process runs no timers.
+        Returns the number of keys discarded.  The next :meth:`take` after
+        a restart misses and re-arms the refill, so recovery pays inline
+        keygen until the timer catches up -- exactly the §4.5.1 cost the
+        pool normally hides.
+        """
+        discarded = len(self._keys)
+        self._keys.clear()
+        self.cancel_refill()
+        return discarded

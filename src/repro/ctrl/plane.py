@@ -165,6 +165,42 @@ class ControlPlane:
     def on_session_closed(self, endpoint, peer_addr, peer_port) -> None:
         self.table.remove((id(endpoint), peer_addr, peer_port))
 
+    # -- failure domains -------------------------------------------------------
+
+    def crash(self) -> None:
+        """The host process dies: session state and standby keys vanish.
+
+        Sessions are dropped without notification (peers find out from
+        failed RPCs); the key pools are emptied and their refill timers
+        stop.  Counters survive -- they model the operator's external
+        metrics store, and the incident bench reads them post-mortem.
+        """
+        self.table.clear(notify=False)
+        self.table.stop()
+        self.ecdh_pool.clear()
+        if self.ecdsa_pool is not None:
+            self.ecdsa_pool.clear()
+        self.crashes = getattr(self, "crashes", 0) + 1
+
+    def restart(self) -> None:
+        """Cold restart after :meth:`crash`: pools start *empty*.
+
+        Unlike first boot (which prefills), a restart rebuilds standby
+        stock via watermark refill only, so the post-incident re-handshake
+        storm pays inline keygen (§4.5.1's C1.1/S2.1 costs) until the
+        refill timers catch up -- the control-plane pressure the incident
+        bench measures.
+        """
+        cfg = self.config
+        if cfg.idle_timeout is not None and self.table._sweeper is None:
+            self.table._sweeper = self.loop.every(
+                cfg.sweep_interval
+                if cfg.sweep_interval is not None
+                else cfg.idle_timeout / 4,
+                self.table._sweep_idle,
+            )
+        self.restarts = getattr(self, "restarts", 0) + 1
+
     # -- observability ---------------------------------------------------------
 
     @property

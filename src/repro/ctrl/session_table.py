@@ -117,6 +117,21 @@ class SessionTable:
                 self.evicted_idle += 1
                 entry.on_evict()
 
+    def clear(self, notify: bool = False) -> int:
+        """Tear down every session (process crash / cold restart).
+
+        With ``notify`` each entry's ``on_evict`` runs (orderly close,
+        e.g. for tests); a crash uses the default ``notify=False`` -- the
+        state is simply gone, peers discover it via failed RPCs and
+        re-handshakes.  Returns the number of sessions dropped.
+        """
+        dropped = len(self._entries)
+        entries = list(self._entries.values()) if notify else ()
+        self._entries.clear()
+        for entry in entries:
+            entry.on_evict()
+        return dropped
+
     def stop(self) -> None:
         if self._sweeper is not None:
             self._sweeper.cancel()

@@ -87,8 +87,17 @@ class HomaSocket:
         dest_addr: int,
         dest_port: int,
         payload: bytes,
+        timeout: Optional[float] = None,
     ) -> Generator[Any, Any, bytes]:
-        """Send a request and wait for its response; returns the payload."""
+        """Send a request and wait for its response; returns the payload.
+
+        ``timeout`` is an optional caller deadline in seconds: if the
+        response has not authenticated by then, the RPC fails with
+        :class:`TransportError` and its resend timers are cancelled.
+        Homa's own RESEND machinery keeps running underneath until the
+        deadline -- the deadline is the *application's* patience (the
+        resilience kit's per-attempt budget), not a transport retry knob.
+        """
         codec = self.codec_for(dest_addr, dest_port)
         # Managed sessions (repro.ctrl) gate new calls while a rekey drains
         # the session; unmanaged codecs have no gate and pay nothing here.
@@ -103,12 +112,16 @@ class HomaSocket:
             started()
             try:
                 payload = yield from self._call(
-                    thread, dest_addr, dest_port, payload, codec
+                    thread, dest_addr, dest_port, payload, codec, timeout
                 )
             finally:
                 codec.rpc_finished()
             return payload
-        return (yield from self._call(thread, dest_addr, dest_port, payload, codec))
+        return (
+            yield from self._call(
+                thread, dest_addr, dest_port, payload, codec, timeout
+            )
+        )
 
     def _call(
         self,
@@ -117,6 +130,7 @@ class HomaSocket:
         dest_port: int,
         payload: bytes,
         codec: MessageCodec,
+        timeout: Optional[float] = None,
     ) -> Generator[Any, Any, bytes]:
         msg_id = self.transport.alloc_msg_id(codec)
         mss = self.transport.host.nic.mtu_payload
@@ -132,33 +146,54 @@ class HomaSocket:
             )
         )
         self._arm_response_timer(msg_id, dest_addr, dest_port)
+        deadline = None
+        if timeout is not None:
+
+            def expire() -> None:
+                # Caller deadline: abandon the RPC.  The pending event may
+                # already be gone (response raced the deadline) -- no-op.
+                ev = self._pending.pop(msg_id, None)
+                if ev is None:
+                    return
+                self._cancel_response_timers(msg_id)
+                ev.fail(
+                    TransportError(
+                        f"RPC {msg_id} missed its {timeout * 1e6:.0f}us deadline"
+                    )
+                )
+
+            deadline = self.loop.timer_later(timeout, expire)
         yield from thread.work(cost)
         self.transport.kick(dest_addr, msg_id)
         config = self.transport.config
         attempts = 0
-        while True:
-            inbound, wire = yield event
-            try:
-                decoded = codec.decode(inbound.msg_id, wire)
-                break
-            except (AuthenticationError, ProtocolError):
-                # The response's reassembled bytes do not authenticate:
-                # wire corruption (checksum-free transport, paper §7).
-                if not config.corruption_recovery:
-                    raise
-                attempts += 1
-                yield from thread.work(self._failed_decode_cost(wire))
-                if attempts > config.max_corrupt_recoveries:
-                    raise SessionFailedError(
-                        f"response {msg_id | 1} failed authentication "
-                        f"{attempts} times; session fails closed"
-                    )
-                # Re-arm the wait before asking the server to resend, so
-                # the redelivery finds a pending event to succeed.
-                event = self.loop.event()
-                self._pending[msg_id] = event
-                self._arm_response_timer(msg_id, dest_addr, dest_port)
-                self.transport.recover_inbound(inbound)
+        try:
+            while True:
+                inbound, wire = yield event
+                try:
+                    decoded = codec.decode(inbound.msg_id, wire)
+                    break
+                except (AuthenticationError, ProtocolError):
+                    # The response's reassembled bytes do not authenticate:
+                    # wire corruption (checksum-free transport, paper §7).
+                    if not config.corruption_recovery:
+                        raise
+                    attempts += 1
+                    yield from thread.work(self._failed_decode_cost(wire))
+                    if attempts > config.max_corrupt_recoveries:
+                        raise SessionFailedError(
+                            f"response {msg_id | 1} failed authentication "
+                            f"{attempts} times; session fails closed"
+                        )
+                    # Re-arm the wait before asking the server to resend, so
+                    # the redelivery finds a pending event to succeed.
+                    event = self.loop.event()
+                    self._pending[msg_id] = event
+                    self._arm_response_timer(msg_id, dest_addr, dest_port)
+                    self.transport.recover_inbound(inbound)
+        finally:
+            if deadline is not None:
+                deadline.cancel()
         self._cancel_response_timers(msg_id)
         ack_cost = 0.0
         if config.corruption_recovery:

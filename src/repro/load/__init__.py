@@ -9,7 +9,10 @@ The package splits into three layers:
   protocol;
 - :mod:`repro.load.engine` — Poisson open-loop arrival generation at a
   target load fraction, per-size unloaded-baseline calibration and
-  slowdown aggregation.
+  slowdown aggregation;
+- :mod:`repro.load.incident` — the same open-loop load driven through a
+  scripted failure-domain incident, with per-phase slowdown tails and
+  optional resilience-kit wrapping.
 """
 
 from repro.load.cluster import SERVER_PORT, SYSTEMS, ClusterHarness
@@ -23,8 +26,11 @@ from repro.load.distributions import (
     SizeDistribution,
 )
 from repro.load.engine import LoadResult, OpenLoopEngine, wire_bytes
+from repro.load.incident import IncidentEngine, IncidentMetrics
 
 __all__ = [
+    "IncidentEngine",
+    "IncidentMetrics",
     "SERVER_PORT",
     "SYSTEMS",
     "ClusterHarness",

@@ -276,12 +276,24 @@ class ClusterHarness:
         return self.hosts[src].app_thread(serial)
 
     def call(
-        self, src: int, dst: int, thread, payload: bytes
+        self,
+        src: int,
+        dst: int,
+        thread,
+        payload: bytes,
+        timeout: Optional[float] = None,
     ) -> Generator[Any, Any, bytes]:
-        """One RPC from host ``src`` to host ``dst``; returns the response."""
+        """One RPC from host ``src`` to host ``dst``; returns the response.
+
+        ``timeout`` is a caller deadline, honoured by the message meshes
+        (homa/smt) via :meth:`HomaSocket.call`.  The stream meshes ignore
+        it: TCP's own retransmission owns the bytestream's fate, and a
+        deadline mid-record would desynchronise the pipelined framing.
+        """
         if self._socks:
             response = yield from self._socks[src].call(
-                thread, self.hosts[dst].addr, SERVER_PORT, payload
+                thread, self.hosts[dst].addr, SERVER_PORT, payload,
+                timeout=timeout,
             )
             return response
         response = yield from self._stream_clients[(src, dst)].call(payload)

@@ -9,6 +9,11 @@ and optional loss injection.
 
 from repro.net.addressing import FlowTuple, format_addr
 from repro.net.clos import ClosFabric, ecmp_hash
+from repro.net.domain_faults import (
+    DomainFaultController,
+    IncidentEvent,
+    domain_schedule_from_seed,
+)
 from repro.net.faults import FaultConfig, FaultInjector, schedule_from_seed
 from repro.net.headers import (
     PROTO_HOMA,
@@ -39,4 +44,7 @@ __all__ = [
     "FaultConfig",
     "FaultInjector",
     "schedule_from_seed",
+    "DomainFaultController",
+    "IncidentEvent",
+    "domain_schedule_from_seed",
 ]

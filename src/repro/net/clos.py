@@ -104,6 +104,15 @@ class ClosFabric:
         ]
         # Packets each leaf steered up to each spine: [rack][spine].
         self.spine_packets = [[0] * num_spines for _ in range(num_racks)]
+        # Failure-domain state: which spines/leaves are alive, and which
+        # spines the leaves' ECMP tables currently hash over.  The two are
+        # distinct on purpose -- between a spine dying and the fabric
+        # reconverging, leaves keep steering flows into the blackhole,
+        # exactly the window production incidents are about.
+        self._spine_up = [True] * num_spines
+        self._leaf_up = [True] * num_racks
+        self._routing_spines: tuple[int, ...] = tuple(range(num_spines))
+        self.reconvergences = 0
         self._rack_of: dict[int, int] = {}
         self._ports: dict[int, FabricPort] = {}
         for rack, leaf in enumerate(self.leaves):
@@ -148,6 +157,84 @@ class ClosFabric:
             raise SimulationError(f"no rack for destination {addr}")
         return rack
 
+    # -- failure domains ----------------------------------------------------------
+
+    def fail_spine(self, spine: int) -> None:
+        """Kill one spine switch.  Leaves keep hashing flows to it until
+        :meth:`reconverge` updates their ECMP tables -- the in-between
+        packets blackhole at the dead switch (counted in its totals)."""
+        self._check_spine(spine)
+        self._spine_up[spine] = False
+        self.spines[spine].set_down(True)
+
+    def restore_spine(self, spine: int) -> None:
+        """Revive a spine; call :meth:`reconverge` to route over it again."""
+        self._check_spine(spine)
+        self._spine_up[spine] = True
+        self.spines[spine].set_down(False)
+
+    def fail_leaf(self, rack: int) -> None:
+        """Kill a rack's leaf: total blackout for every host behind it,
+        in both directions (hosts inject into a dead switch; spines trunk
+        into it)."""
+        self._check_rack(rack)
+        self._leaf_up[rack] = False
+        self.leaves[rack].set_down(True)
+
+    def restore_leaf(self, rack: int) -> None:
+        self._check_rack(rack)
+        self._leaf_up[rack] = True
+        self.leaves[rack].set_down(False)
+
+    def reconverge(self, salt: Optional[int] = None) -> tuple[int, ...]:
+        """Reprogram every leaf's ECMP table to hash over live spines only.
+
+        Models the routing plane converging after detection: flows whose
+        hash previously landed on a dead spine migrate to a survivor,
+        while flows on surviving spines are untouched *iff* the survivor
+        set keeps their index (guaranteed for salt-stable rehash only when
+        the hash is reduced modulo the live set -- which is what this
+        does).  An explicit ``salt`` additionally re-salts the hash,
+        reshuffling all flows.  Returns the new routing set.
+        """
+        live = tuple(s for s in range(self.num_spines) if self._spine_up[s])
+        if not live:
+            raise SimulationError("cannot reconverge: no live spines")
+        if salt is not None:
+            self.ecmp_salt = salt
+        self._routing_spines = live
+        self.reconvergences += 1
+        return live
+
+    def live_spines(self) -> tuple[int, ...]:
+        """Spines currently alive (independent of the routing tables)."""
+        return tuple(s for s in range(self.num_spines) if self._spine_up[s])
+
+    def routing_spines(self) -> tuple[int, ...]:
+        """Spines the leaves' ECMP tables currently hash over."""
+        return self._routing_spines
+
+    def spine_up(self, spine: int) -> bool:
+        self._check_spine(spine)
+        return self._spine_up[spine]
+
+    def leaf_up(self, rack: int) -> bool:
+        self._check_rack(rack)
+        return self._leaf_up[rack]
+
+    def spine_for(self, packet: Packet) -> int:
+        """The spine index the current ECMP tables steer this flow to."""
+        spines = self._routing_spines
+        return spines[ecmp_hash(packet, self.ecmp_salt) % len(spines)]
+
+    def _check_spine(self, spine: int) -> None:
+        if not 0 <= spine < self.num_spines:
+            raise SimulationError(f"spine {spine} out of range")
+
+    def _check_rack(self, rack: int) -> None:
+        if not 0 <= rack < self.num_racks:
+            raise SimulationError(f"rack {rack} out of range")
+
     # -- routing ------------------------------------------------------------------
 
     def _leaf_router(self, rack: int):
@@ -156,7 +243,8 @@ class ClosFabric:
             home = self.rack_of(dst)
             if home == rack:
                 return dst
-            spine = ecmp_hash(packet, self.ecmp_salt) % self.num_spines
+            spines = self._routing_spines
+            spine = spines[ecmp_hash(packet, self.ecmp_salt) % len(spines)]
             self.spine_packets[rack][spine] += 1
             return f"spine{spine}"
 
@@ -176,11 +264,11 @@ class ClosFabric:
 
     def stats(self) -> dict:
         """Aggregated fabric counters (drops/trims per tier + ECMP spread)."""
-        leaf = {"dropped": 0, "trimmed": 0, "queued": 0}
+        leaf = {"dropped": 0, "trimmed": 0, "queued": 0, "blackholed": 0}
         for sw in self.leaves:
             for field, value in sw.totals().items():
                 leaf[field] += value
-        spine = {"dropped": 0, "trimmed": 0, "queued": 0}
+        spine = {"dropped": 0, "trimmed": 0, "queued": 0, "blackholed": 0}
         for sw in self.spines:
             for field, value in sw.totals().items():
                 spine[field] += value

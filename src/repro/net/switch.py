@@ -52,6 +52,10 @@ class _Port:
         self.tap: Optional[Tap] = None
         self.dropped = 0
         self.trimmed = 0
+        # Failure-domain state: a down port blackholes everything routed
+        # to it (replica crash: the leaf's egress toward a dead host).
+        self.down = False
+        self.blackholed = 0
 
 
 class Switch:
@@ -72,6 +76,12 @@ class Switch:
         self.trimming = trimming
         self._ports: dict[PortKey, _Port] = {}
         self._router: Optional[Router] = None
+        # Failure-domain state: a down switch blackholes every injected
+        # packet (spine/leaf kill).  Packets already serialising when the
+        # switch dies are considered "on the wire" and still deliver;
+        # queued packets are flushed and counted.
+        self.down = False
+        self.blackholed = 0
 
     def attach(self, addr: int, receiver: Receiver) -> None:
         """Bind a host address to a switch port delivering via ``receiver``."""
@@ -111,6 +121,9 @@ class Switch:
 
     def inject(self, packet: Packet) -> None:
         """A host or upstream switch hands over a packet for forwarding."""
+        if self.down:
+            self.blackholed += 1
+            return
         key: PortKey
         if self._router is not None:
             key = self._router(packet)
@@ -119,6 +132,12 @@ class Switch:
         port = self._ports.get(key)
         if port is None:
             raise SimulationError(f"no port for destination {key}")
+        if port.down:
+            port.blackholed += 1
+            self.blackholed += 1
+            if port.tap is not None:
+                port.tap(packet, "blackholed")
+            return
         size = packet.wire_size
         if port.queued + size > port.buffer_bytes:
             if self.trimming and packet.payload:
@@ -204,6 +223,43 @@ class Switch:
         if port.tap is not None:
             port.tap(packet, verdict)
 
+    # -- failure domains ----------------------------------------------------------
+
+    def set_down(self, down: bool) -> None:
+        """Kill or revive the whole switch (spine/leaf failure domain).
+
+        Going down flushes every queued packet (they die with the switch's
+        buffers); a packet mid-serialisation still delivers, modelling
+        bits already on the wire.  Idempotent in both directions.
+        """
+        if down and not self.down:
+            for port in self._ports.values():
+                self._flush_port(port)
+        self.down = down
+
+    def set_port_down(self, key: PortKey, down: bool) -> None:
+        """Kill or revive one egress port (replica crash: the downlink)."""
+        port = self._ports.get(key)
+        if port is None:
+            raise SimulationError(f"no port for address {key}")
+        if down and not port.down:
+            self._flush_port(port)
+        port.down = down
+
+    def _flush_port(self, port: _Port) -> None:
+        """Drop everything queued on ``port``, closing any open spans."""
+        for queue in port.queues:
+            while queue:
+                packet = queue.popleft()
+                port.blackholed += 1
+                self.blackholed += 1
+                span = packet.meta.pop("obs_span", None)
+                if span is not None:
+                    self.loop.obs.tracer.end(span, fate="blackholed")
+                if port.tap is not None:
+                    port.tap(packet, "blackholed")
+        port.queued = 0
+
     def inject_faults(self, addr: PortKey, injector: Optional["FaultInjector"]) -> None:
         """Adversarial conditions on the egress port ``addr`` (host or trunk)."""
         port = self._ports.get(addr)
@@ -222,13 +278,18 @@ class Switch:
         port = self._ports[addr]
         return {"dropped": port.dropped, "trimmed": port.trimmed, "queued": port.queued}
 
+    def port_blackholed(self, addr: PortKey) -> int:
+        """Packets blackholed at one down egress port."""
+        return self._ports[addr].blackholed
+
     def port_keys(self) -> list[PortKey]:
         """Every attached port key (host addresses and trunk names)."""
         return list(self._ports)
 
     def totals(self) -> dict:
-        """Drop/trim/queue counters aggregated over every port."""
-        out = {"dropped": 0, "trimmed": 0, "queued": 0}
+        """Drop/trim/queue/blackhole counters aggregated over every port."""
+        out = {"dropped": 0, "trimmed": 0, "queued": 0,
+               "blackholed": self.blackholed}
         for port in self._ports.values():
             out["dropped"] += port.dropped
             out["trimmed"] += port.trimmed

@@ -1,0 +1,128 @@
+"""Per-destination circuit breaker (closed -> open -> half-open).
+
+When a destination fails repeatedly, continuing to call it burns client
+CPU, fabric capacity and -- for an encrypted transport -- handshake
+admission slots on an already-struggling server.  The breaker trips
+after ``failure_threshold`` *consecutive* failures, refuses calls for
+``recovery_timeout`` seconds of virtual time, then lets a bounded number
+of probes through (half-open); one success closes it, one failure
+re-opens it with a fresh timeout.  All transitions are driven by
+``loop.now``, so a fixed trace of successes/failures replays the exact
+state machine -- the property the randomized-trace tests pin down.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import SimulationError
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker on the virtual clock."""
+
+    def __init__(
+        self,
+        loop,
+        failure_threshold: int = 5,
+        recovery_timeout: float = 200e-6,
+        half_open_max_probes: int = 1,
+        name: str = "",
+    ):
+        if failure_threshold < 1:
+            raise SimulationError(
+                f"failure threshold must be >= 1, got {failure_threshold}"
+            )
+        if recovery_timeout <= 0:
+            raise SimulationError(
+                f"recovery timeout must be > 0, got {recovery_timeout}"
+            )
+        if half_open_max_probes < 1:
+            raise SimulationError(
+                f"half-open probe allowance must be >= 1, got {half_open_max_probes}"
+            )
+        self.loop = loop
+        self.failure_threshold = failure_threshold
+        self.recovery_timeout = recovery_timeout
+        self.half_open_max_probes = half_open_max_probes
+        self.name = name
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_inflight = 0
+        #: (virtual_time, from_state, to_state) for every transition.
+        self.transitions: list[tuple[float, BreakerState, BreakerState]] = []
+        self.rejected = 0
+        self.trips = 0
+
+    @property
+    def state(self) -> BreakerState:
+        """Current state, *after* lazily applying the recovery timeout."""
+        self._maybe_half_open()
+        return self._state
+
+    def _transition(self, to: BreakerState) -> None:
+        self.transitions.append((self.loop.now, self._state, to))
+        self._state = to
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state is BreakerState.OPEN
+            and self.loop.now >= self._opened_at + self.recovery_timeout
+        ):
+            self._transition(BreakerState.HALF_OPEN)
+            self._probes_inflight = 0
+
+    def allow(self) -> bool:
+        """May a call proceed right now?  Half-open admits bounded probes."""
+        self._maybe_half_open()
+        if self._state is BreakerState.CLOSED:
+            return True
+        if self._state is BreakerState.HALF_OPEN:
+            if self._probes_inflight < self.half_open_max_probes:
+                self._probes_inflight += 1
+                return True
+            self.rejected += 1
+            return False
+        self.rejected += 1
+        return False
+
+    def record_success(self) -> None:
+        """The attempted call succeeded."""
+        self._maybe_half_open()
+        self._consecutive_failures = 0
+        if self._state is BreakerState.HALF_OPEN:
+            self._probes_inflight = 0
+            self._transition(BreakerState.CLOSED)
+
+    def record_failure(self) -> None:
+        """The attempted call failed (timeout, transport error...)."""
+        self._maybe_half_open()
+        if self._state is BreakerState.HALF_OPEN:
+            # The probe failed: straight back to open, fresh timeout.
+            self._probes_inflight = 0
+            self._opened_at = self.loop.now
+            self.trips += 1
+            self._transition(BreakerState.OPEN)
+            return
+        self._consecutive_failures += 1
+        if (
+            self._state is BreakerState.CLOSED
+            and self._consecutive_failures >= self.failure_threshold
+        ):
+            self._opened_at = self.loop.now
+            self.trips += 1
+            self._transition(BreakerState.OPEN)
+
+    def remaining_open_time(self) -> float:
+        """Seconds until an open breaker would admit a probe (0 otherwise)."""
+        self._maybe_half_open()
+        if self._state is not BreakerState.OPEN:
+            return 0.0
+        return max(0.0, self._opened_at + self.recovery_timeout - self.loop.now)

@@ -273,6 +273,8 @@ class ClosTestbed:
     # Installed by :meth:`install_faults`; {host addr: injector} on the
     # leaf egress port toward that host.
     fault_injectors: Optional[dict] = None
+    # Installed by :meth:`domain_controller`; kills whole failure domains.
+    domains: Optional[object] = None
 
     @property
     def hosts(self) -> list[Host]:
@@ -416,6 +418,23 @@ class ClosTestbed:
             addr_to_name[addr]: injector.stats()
             for addr, injector in self.fault_injectors.items()
         }
+
+    def domain_controller(self, auto_reroute_delay: Optional[float] = None):
+        """The bed's failure-domain controller (spine/leaf/replica kills).
+
+        Idempotent; ``auto_reroute_delay`` only applies on first call.
+        Enable the control plane *before* asking for the controller if
+        replica crashes should tear down session state -- the controller
+        captures ``ctrl_planes`` lazily, so order is actually free, but
+        crashes only reach planes that exist when the crash happens.
+        """
+        if self.domains is None:
+            from repro.net.domain_faults import DomainFaultController
+
+            self.domains = DomainFaultController(
+                self, auto_reroute_delay=auto_reroute_delay
+            )
+        return self.domains
 
     def run(self, until: Optional[float] = None) -> float:
         return self.loop.run(until=until)

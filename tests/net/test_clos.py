@@ -136,6 +136,137 @@ class TestClosFabric:
         assert len(received["c"]) == 10 - stats["leaf"]["dropped"]
 
 
+class TestEcmpResalt:
+    """Re-salt / reconvergence correctness after spine failures."""
+
+    N_SPINES = 4
+
+    def _fabric(self, num_spines=N_SPINES):
+        loop = EventLoop()
+        fabric = ClosFabric(loop, num_racks=2, num_spines=num_spines)
+        a = fabric.attach_host(0, 0x0A000001)
+        fabric.attach_host(1, 0x0A010001)
+        return loop, fabric
+
+    def _flows(self, n=64):
+        return [_packet(0x0A000001, 0x0A010001, sport=1000 + s) for s in range(n)]
+
+    def test_all_flows_map_to_survivors_after_kill(self):
+        loop, fabric = self._fabric()
+        flows = self._flows()
+        fabric.fail_spine(2)
+        live = fabric.reconverge()
+        assert live == (0, 1, 3)
+        for p in flows:
+            assert fabric.spine_for(p) in live, (
+                f"flow sport={p.transport.src_port} still maps to a dead spine"
+            )
+
+    def test_surviving_flows_untouched_without_resalt(self):
+        # Reconverging without a new salt migrates only the orphaned
+        # flows: anything already on a surviving spine stays put as long
+        # as the survivor keeps its position in the live tuple.
+        loop, fabric = self._fabric()
+        flows = self._flows()
+        before = {p.transport.src_port: fabric.spine_for(p) for p in flows}
+        fabric.fail_spine(self.N_SPINES - 1)  # survivors keep indices 0..2
+        fabric.reconverge()
+        moved = sum(
+            1
+            for p in flows
+            if before[p.transport.src_port] != self.N_SPINES - 1
+            and fabric.spine_for(p) != before[p.transport.src_port]
+        )
+        # The modulo shrink (4 -> 3) does remap some surviving flows, but
+        # every flow previously on the dead spine *must* have moved and
+        # every flow must land on a survivor.
+        orphans = [p for p in flows if before[p.transport.src_port] == 3]
+        assert orphans, "hash never used the dead spine: test is vacuous"
+        for p in orphans:
+            assert fabric.spine_for(p) != 3
+        assert moved < len(flows)  # not a full reshuffle
+
+    def test_identity_reconverge_is_a_noop_mapping(self):
+        # All spines alive, salt unchanged: reconverge must not move a
+        # single flow (salt=None keeps the current salt; the live set is
+        # the full set, so indices are stable).
+        loop, fabric = self._fabric()
+        flows = self._flows()
+        before = [fabric.spine_for(p) for p in flows]
+        fabric.reconverge()
+        assert [fabric.spine_for(p) for p in flows] == before
+        # Explicitly re-asserting the current salt is equally identity.
+        fabric.reconverge(salt=fabric.ecmp_salt)
+        assert [fabric.spine_for(p) for p in flows] == before
+
+    def test_resalt_reshuffles_and_stays_on_survivors(self):
+        loop, fabric = self._fabric()
+        flows = self._flows()
+        fabric.fail_spine(0)
+        before = [fabric.spine_for(p) for p in flows]
+        live = fabric.reconverge(salt=17)
+        after = [fabric.spine_for(p) for p in flows]
+        assert after != before  # the salt actually reshuffled
+        assert set(after) <= set(live)
+        assert fabric.ecmp_salt == 17
+
+    def test_restored_spine_rejoins_routing(self):
+        loop, fabric = self._fabric(num_spines=2)
+        fabric.fail_spine(1)
+        assert fabric.reconverge() == (0,)
+        flows = self._flows()
+        assert {fabric.spine_for(p) for p in flows} == {0}
+        fabric.restore_spine(1)
+        # Routing tables only change at reconverge, not at revival.
+        assert fabric.routing_spines() == (0,)
+        assert fabric.reconverge() == (0, 1)
+        assert {fabric.spine_for(p) for p in flows} == {0, 1}
+
+    def test_no_live_spines_rejected(self):
+        loop, fabric = self._fabric(num_spines=2)
+        fabric.fail_spine(0)
+        fabric.fail_spine(1)
+        with pytest.raises(SimulationError):
+            fabric.reconverge()
+
+    def test_blackhole_window_then_clean_after_reconverge(self):
+        # Packets of a flow hashed to the dead spine blackhole until the
+        # tables are reprogrammed; after reconverge the same flow flows.
+        loop = EventLoop()
+        fabric = ClosFabric(loop, num_racks=2, num_spines=2)
+        received = []
+        a = fabric.attach_host(0, 0x0A000001)
+        c = fabric.attach_host(1, 0x0A010001)
+        c.attach("x", received.append)
+        probe = _packet(0x0A000001, 0x0A010001, sport=1000)
+        victim = fabric.spine_for(probe)
+        fabric.fail_spine(victim)
+        fabric.port(0x0A000001).send("x", probe)
+        loop.run(until=1e-3)
+        assert received == []
+        assert fabric.stats()["spine"]["blackholed"] == 1
+        fabric.reconverge()
+        fabric.port(0x0A000001).send("x", _packet(0x0A000001, 0x0A010001, sport=1000))
+        loop.run(until=2e-3)
+        assert len(received) == 1
+        assert fabric.stats()["spine"]["blackholed"] == 1  # no new losses
+
+    def test_kill_reconverge_sequence_is_deterministic(self):
+        def run_once():
+            loop, fabric = self._fabric()
+            mapping = []
+            fabric.fail_spine(1)
+            fabric.reconverge(salt=5)
+            mapping.append([fabric.spine_for(p) for p in self._flows()])
+            fabric.restore_spine(1)
+            fabric.fail_spine(3)
+            fabric.reconverge(salt=9)
+            mapping.append([fabric.spine_for(p) for p in self._flows()])
+            return mapping, fabric.routing_spines(), fabric.reconvergences
+
+        assert run_once() == run_once()
+
+
 class TestClosTestbed:
     def test_construction(self):
         bed = ClosTestbed.leaf_spine(num_racks=2, hosts_per_rack=2, num_spines=2)

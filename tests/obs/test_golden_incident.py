@@ -1,0 +1,92 @@
+"""Golden trace for a canned failure-domain incident.
+
+One fixed scenario -- spine 0 dies at 80 us and revives at 220 us while
+four cross-rack RPCs flow and a BFD-style watcher re-salts ECMP -- is
+locked down three ways:
+
+- the span tree: the ``incident``-layer span opened by the controller
+  must nest the detection/reroute ordering against the RPC spans;
+- the controller's event log: kill, watcher detection, re-salt,
+  revival, re-join, each at its exact virtual-time stamp;
+- the metrics snapshot: spine packet counters showing the migration.
+
+Regenerate after an intentional change::
+
+    PYTHONPATH=src python -m pytest tests/obs/test_golden_incident.py --update-goldens
+"""
+
+import json
+
+from repro.load.cluster import ClusterHarness, build_request, verify_response
+from repro.net.domain_faults import IncidentEvent
+from repro.testbed import ClosTestbed
+from repro.units import USEC
+
+from tests.obs.test_golden_trace import check_golden
+
+FAULT_AT = 80 * USEC
+REVIVE_AT = 220 * USEC
+RPC_TIMES_US = (10, 60, 120, 260)  # before, straddling, during, after
+
+
+def run_incident():
+    """The canned incident; returns (bed, controller, completions)."""
+    bed = ClosTestbed.leaf_spine(
+        num_racks=2, hosts_per_rack=1, num_spines=2, seed=1
+    )
+    obs = bed.enable_obs()
+    harness = ClusterHarness(bed, "smt")
+    controller = bed.domain_controller()
+    controller.watch_spines(interval=20 * USEC, miss_threshold=2, resalt=True)
+    controller.schedule([
+        IncidentEvent(FAULT_AT, "spine_down", 0),
+        IncidentEvent(REVIVE_AT, "spine_up", 0),
+    ])
+
+    loop = bed.loop
+    completions = []
+
+    def one(serial, at):
+        yield loop.timeout(at)
+        request = build_request(serial, 1024, 256)
+        response = yield from harness.call(
+            0, 1, harness.thread_for(0, serial), request
+        )
+        completions.append((serial, round(loop.now, 12),
+                            verify_response(response, serial, 256)))
+
+    for serial, at_us in enumerate(RPC_TIMES_US):
+        loop.process(one(serial, at_us * USEC))
+    loop.run(until=2e-3)
+    controller.stop()
+    return bed, controller, completions
+
+
+class TestIncidentGoldens:
+    def test_span_tree(self, update_goldens):
+        bed, controller, completions = run_incident()
+        assert len(completions) == len(RPC_TIMES_US)
+        assert all(ok for _, _, ok in completions)
+        check_golden(
+            "incident_spans.txt", bed.obs.tracer.render() + "\n", update_goldens
+        )
+
+    def test_incident_log(self, update_goldens):
+        bed, controller, _ = run_incident()
+        check_golden(
+            "incident_log.txt", controller.render_log() + "\n", update_goldens
+        )
+
+    def test_metrics_snapshot(self, update_goldens):
+        bed, controller, _ = run_incident()
+        text = json.dumps(bed.obs.snapshot()["metrics"], indent=1) + "\n"
+        check_golden("incident_metrics.json", text, update_goldens)
+
+    def test_incident_span_is_present_and_bounded(self):
+        """The golden is only meaningful if the incident span fired."""
+        bed, controller, _ = run_incident()
+        spans = [s for s in bed.obs.tracer.spans() if s.layer == "incident"]
+        assert len(spans) == 1
+        span = spans[0]
+        assert span.start == FAULT_AT
+        assert span.end == REVIVE_AT

@@ -50,3 +50,8 @@ class TestExamples:
         out = run_example("leaf_spine_load.py", capsys)
         assert "integrity errors 0" in out
         assert "OK: loaded leaf-spine fabric" in out
+
+    def test_incident_drill(self, capsys):
+        out = run_example("incident_drill.py", capsys)
+        assert "3 re-handshakes" in out
+        assert "OK: incident drill survived" in out
