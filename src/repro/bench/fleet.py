@@ -32,6 +32,7 @@ from repro.bench import (
     fig10,
     fig11,
     fig12,
+    frontend,
     incident,
     loaded,
     perf,
@@ -60,10 +61,11 @@ EXPERIMENTS = {
     "churn": churn.run,
     "loaded": loaded.run,
     "incident": incident.run,
+    "frontend": frontend.run,
 }
 
 # Experiments whose run() accepts quick=True for a scaled-down CI pass.
-_QUICK_AWARE = {"perf", "churn", "loaded", "incident"}
+_QUICK_AWARE = {"perf", "churn", "loaded", "incident", "frontend"}
 
 
 @dataclass

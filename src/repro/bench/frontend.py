@@ -1,0 +1,571 @@
+"""Replicated-service front end: portability, policy, damping, staleness.
+
+Four deterministic scenarios over the ``repro.lb`` layer:
+
+1. **Ticket portability** -- N replicas behind one DNS name.  With a
+   :class:`~repro.ctrl.rotation.SharedShareRotator` (one long-term share
+   service-wide) every cross-replica 0-RTT attempt is accepted: a ticket
+   minted by replica A opens replica B with zero handshake RTTs, and
+   both sides derive identical traffic keys.  With per-replica shares
+   (plain :class:`~repro.ctrl.rotation.TicketRotator` each, one ticket
+   published) *every* cross-replica attempt is rejected and falls back
+   to the 1-RTT handshake -- DNS-distributed 0-RTT silently degrades to
+   session affinity.  The bands pin 100% vs 0% cross-acceptance.  A
+   connection drain rides along: one replica leaves rotation and every
+   one of its sessions migrates, none dropped.
+
+2. **Balancing policy under skew** -- open-loop load through the
+   balancer over the smt cluster mesh, arrivals keyed by a Zipf-like
+   popularity (top key most of the mass).  Consistent hashing
+   concentrates the hot keys on one replica (queueing blows up its tail)
+   while power-of-two-choices spreads by outstanding load: the
+   least-loaded p99 slowdown must beat consistent-hash p99, with every
+   RPC completing and zero integrity errors.
+
+3. **LB oscillation** -- a flapping health probe under a naive
+   one-strike checker republishes membership at probe frequency and
+   herds the flapped replica's whole key range back and forth;
+   hysteresis (2 misses down / 2 successes up) produces *zero*
+   transitions for the same probe schedule, and a dwell window
+   (``min_hold``) suppresses residual flips even at one-strike
+   thresholds.
+
+4. **DNS-TTL staleness** -- the ticket record's TTL races the share
+   lifetime across a replica crash (``DomainFaultController``): refresh
+   inside the margin finds the record reaped (cached ticket served while
+   verifiable, counted), then nothing usable (1-RTT fallback, counted);
+   the rotation that fires mid-crash cannot install on the dead replica
+   (counted), so the revived replica rejects 0-RTT until the rotator
+   resyncs it.  Every session open still succeeds.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bench.loaded import LOAD_HOMA_CONFIG
+from repro.bench.report import ExperimentReport
+from repro.core.zero_rtt import ZeroRttServer
+from repro.crypto.ca import CertificateAuthority
+from repro.crypto.cert import KEY_ALG_ECDSA
+from repro.crypto.ecdsa import EcdsaKeyPair
+from repro.ctrl import CtrlConfig, SharedShareRotator, TicketCache, TicketRotator
+from repro.dns.resolver import InternalDns
+from repro.lb import (
+    ConnectionDrainer,
+    ConsistentHashBalancer,
+    HealthChecker,
+    LeastLoadedBalancer,
+    ReplicaServer,
+    ServiceFrontend,
+    ServiceRegistry,
+)
+from repro.load import HOMA_W4, ClusterHarness
+from repro.load.frontend import FrontendEngine, SkewedKeys
+from repro.sim.event_loop import EventLoop
+from repro.testbed import ClosTestbed
+from repro.units import USEC
+
+SERVICE = "svc.dc.internal"
+SEED = 17
+DNS_LATENCY = 2e-6
+TICKET_LIFETIME = 5e-3
+GRACE_WINDOW = 2e-3
+REFRESH_MARGIN = 1e-3
+
+
+def _pki(seed: int = 1):
+    rng = random.Random(seed)
+    ca = CertificateAuthority("dc-root", rng)
+    key = EcdsaKeyPair.generate(rng)
+    leaf = ca.issue(SERVICE, KEY_ALG_ECDSA, key.public_bytes())
+    return ca, ca.chain_for(leaf), key
+
+
+# -- part 1: ticket portability (+ drain) -----------------------------------------
+
+
+def _run_portability(shared: bool, opens: int) -> dict:
+    bed = ClosTestbed.leaf_spine(
+        num_racks=2, hosts_per_rack=3, num_spines=2, seed=5
+    )
+    ca, chain, key = _pki()
+    roots = (ca.certificate,)
+    dns = InternalDns(lookup_latency=DNS_LATENCY)
+    replica_hosts = bed.hosts[3:]
+    zservers = [
+        ZeroRttServer(
+            SERVICE, chain, key, random.Random(100 + i),
+            lifetime=TICKET_LIFETIME, grace_window=GRACE_WINDOW,
+        )
+        for i in range(len(replica_hosts))
+    ]
+    replicas = {
+        h.addr: ReplicaServer(h, z) for h, z in zip(replica_hosts, zservers)
+    }
+    if shared:
+        rotator = SharedShareRotator(
+            bed.loop, zservers, dns, SERVICE,
+            rng=random.Random(9), ttl=TICKET_LIFETIME,
+        )
+        rotator.start()
+    else:
+        # Independent per-replica shares; the service name carries the
+        # first replica's ticket (whichever the operator published).
+        for i, z in enumerate(zservers):
+            TicketRotator(bed.loop, z, dns, f"{SERVICE}.r{i}",
+                          ttl=TICKET_LIFETIME).start()
+        dns.publish(SERVICE, dns.query(f"{SERVICE}.r0", bed.loop.now),
+                    bed.loop.now, ttl=TICKET_LIFETIME)
+    registry = ServiceRegistry(bed.loop, dns, SERVICE)
+    for h in replica_hosts:
+        registry.register(h.addr)
+    registry.start()
+    cache = TicketCache(dns, roots, refresh_margin=REFRESH_MARGIN)
+    fe = ServiceFrontend(
+        bed.loop, registry, replicas, ConsistentHashBalancer(), cache, roots,
+        minter_rid=replica_hosts[0].addr, seed=SEED,
+    )
+    drainer = ConnectionDrainer(bed.loop, fe)
+    out: dict = {}
+
+    def client():
+        thread = bed.hosts[0].app_thread(0)
+        for k in range(opens):
+            yield from fe.open_session(thread, f"client-key-{k}")
+        # Drain the busiest replica; completeness = every session moved.
+        target = max(replicas, key=lambda rid: len(fe.sessions_on(rid)))
+        out["pre_drain"] = len(fe.sessions_on(target))
+        out["moved"] = yield from drainer.drain(target)
+        out["left"] = len(fe.sessions_on(target))
+
+    done = bed.loop.process(client())
+    bed.run(until=bed.loop.now + 0.1)
+    if not done.triggered:
+        raise AssertionError("portability scenario deadlocked")
+    if not done.ok:
+        raise done.value
+    out["counters"] = fe.counters
+    out["alive"] = sum(1 for s in fe.sessions if not s.closed)
+    return out
+
+
+# -- part 2: balancing policy under skewed load -----------------------------------
+
+
+def _run_skew(policy: str, quick: bool):
+    bed = ClosTestbed.leaf_spine(
+        num_racks=2, hosts_per_rack=2, num_spines=2, num_app_cores=12, seed=1
+    )
+    harness = ClusterHarness(bed, "smt", config=LOAD_HOMA_CONFIG)
+    balancer = (
+        ConsistentHashBalancer() if policy == "consistent-hash"
+        else LeastLoadedBalancer(seed=SEED)
+    )
+    engine = FrontendEngine(
+        harness,
+        HOMA_W4,
+        load=0.45,
+        duration=0.12e-3 if quick else 0.3e-3,
+        balancer=balancer,
+        clients=[0, 1],
+        replicas=[2, 3],
+        keys=SkewedKeys(8, exponent=2.0),
+        seed=SEED,
+    )
+    result = engine.run()
+    return engine, result
+
+
+# -- part 3: LB oscillation and hysteresis damping --------------------------------
+
+
+def _herd_moves(registry, rids, num_keys: int = 60) -> int:
+    """Replay the membership log: total key reassignments across flips.
+
+    Each up/down event republishes membership; consistent hashing then
+    remaps every key whose owner changed -- the herd a flapping replica
+    drags back and forth.
+    """
+    ring = ConsistentHashBalancer()
+    healthy = {rid: True for rid in rids}
+
+    def assignment():
+        live = tuple(r for r in rids if healthy[r])
+        return [ring.pick(f"key-{k}", live) for k in range(num_keys)]
+
+    moves = 0
+    prev = assignment()
+    for _t, event, rid in registry.log:
+        if event not in ("up", "down"):
+            continue
+        healthy[rid] = event == "up"
+        cur = assignment()
+        moves += sum(1 for a, b in zip(prev, cur) if a != b)
+        prev = cur
+    return moves
+
+
+def _run_oscillation(
+    down_misses: int, up_successes: int, min_hold: float, ticks: int
+):
+    loop = EventLoop()
+    dns = InternalDns()
+    registry = ServiceRegistry(loop, dns, "svc-osc", ttl=1.0)
+    rids = ("r0", "r1", "r2")
+    for rid in rids:
+        registry.register(rid)
+    checker = HealthChecker(
+        loop, registry, interval=10e-6,
+        down_misses=down_misses, up_successes=up_successes, min_hold=min_hold,
+    )
+    state = {"tick": 0}
+
+    def flapping() -> bool:
+        state["tick"] += 1
+        return state["tick"] % 2 == 0
+
+    checker.watch("r0", flapping)
+    checker.watch("r1", lambda: True)
+    checker.watch("r2", lambda: True)
+    checker.start()
+    loop.run(until=ticks * 10e-6 + 1e-9)
+    return checker, registry, _herd_moves(registry, rids)
+
+
+# -- part 4: DNS-TTL staleness across a replica crash -----------------------------
+
+#: Compressed timeline (all virtual seconds).  The ticket record's TTL
+#: expires well before the share does (stale window), the share expires
+#: before the next rotation (unavailable window), and the crash covers
+#: the rotation so the dead replica misses the install.
+STALE_PERIOD = 600 * USEC
+STALE_TTL = 150 * USEC
+STALE_LIFETIME = 400 * USEC
+STALE_MARGIN = 200 * USEC
+CRASH_AT = 250 * USEC
+REVIVE_AT = 700 * USEC
+RESYNC_DELAY = 200 * USEC
+STALE_HORIZON = 1250 * USEC
+
+
+def _run_staleness(quick: bool) -> dict:
+    bed = ClosTestbed.leaf_spine(
+        num_racks=2, hosts_per_rack=2, num_spines=2, seed=5
+    )
+    bed.enable_ctrl(config=CtrlConfig(), seed=2025)
+    ca, chain, key = _pki()
+    roots = (ca.certificate,)
+    dns = InternalDns(lookup_latency=DNS_LATENCY)
+    replica_hosts = bed.hosts[2:]
+    replica_indices = [2, 3]
+    zservers = [
+        ZeroRttServer(
+            SERVICE, chain, key, random.Random(100 + i),
+            lifetime=STALE_LIFETIME, grace_window=STALE_LIFETIME / 2,
+        )
+        for i in range(len(replica_hosts))
+    ]
+    replicas = {
+        h.addr: ReplicaServer(h, z, plane=bed.ctrl_planes[idx])
+        for h, z, idx in zip(replica_hosts, zservers, replica_indices)
+    }
+    controller = bed.domain_controller()
+    rotator = SharedShareRotator(
+        bed.loop, zservers, dns, SERVICE,
+        rng=random.Random(9), period=STALE_PERIOD, ttl=STALE_TTL,
+        up_fn=lambda i: controller.is_host_up(replica_hosts[i].addr),
+    )
+    rotator.start()
+    registry = ServiceRegistry(bed.loop, dns, SERVICE)
+    for h in replica_hosts:
+        registry.register(h.addr)
+    registry.start()
+    checker = HealthChecker(
+        bed.loop, registry, interval=20e-6, down_misses=2, up_successes=2
+    )
+    for h in replica_hosts:
+        checker.watch(h.addr, lambda addr=h.addr: controller.is_host_up(addr))
+    checker.start()
+    cache = TicketCache(dns, roots, refresh_margin=STALE_MARGIN)
+    fe = ServiceFrontend(
+        bed.loop, registry, replicas, ConsistentHashBalancer(), cache, roots,
+        minter_rid=replica_hosts[0].addr, seed=SEED,
+    )
+    # The crashed replica misses the mid-crash rotation; on revival the
+    # rotator resyncs it after a control-plane catch-up delay, closing
+    # the forced-1-RTT window the frontend counters expose.
+    controller.on_replica_revive(
+        lambda idx: bed.loop.timer_later(
+            RESYNC_DELAY, rotator.resync, zservers[replica_indices.index(idx)]
+        )
+    )
+    bed.loop.timer_later(CRASH_AT, controller.replica_crash, replica_indices[1])
+    bed.loop.timer_later(REVIVE_AT, controller.replica_revive, replica_indices[1])
+
+    del quick  # the timeline is fixed; quick savings live in parts 1-3
+    step = 40e-6
+    failures = []
+
+    def client():
+        thread = bed.hosts[0].app_thread(0)
+        k = 0
+        yield bed.loop.timeout(10e-6)
+        while bed.loop.now < STALE_HORIZON:
+            try:
+                yield from fe.open_session(thread, f"key-{k % 6}")
+            except Exception as exc:  # every open must degrade, not raise
+                failures.append((bed.loop.now, repr(exc)))
+            k += 1
+            yield bed.loop.timeout(step)
+
+    done = bed.loop.process(client())
+    bed.run(until=STALE_HORIZON + 200e-6)
+    if not done.triggered:
+        raise AssertionError("staleness scenario deadlocked")
+    if not done.ok:
+        raise done.value
+    return {
+        "counters": fe.counters,
+        "cache": cache,
+        "rotator": rotator,
+        "checker": checker,
+        "revived_rejects": replicas[replica_hosts[1].addr].zero_rtt_rejects,
+        "revived_accepts": replicas[replica_hosts[1].addr].zero_rtt_accepts,
+        "failures": failures,
+        "controller": controller,
+    }
+
+
+# -- the report -------------------------------------------------------------------
+
+
+def run(quick: bool = False) -> ExperimentReport:
+    report = ExperimentReport(
+        "Replicated-service front end: discovery, balancing, 0-RTT portability"
+        + (" (quick)" if quick else "")
+    )
+
+    # 1. Ticket portability across replicas, plus the drain ride-along.
+    opens = 10 if quick else 18
+    port = {
+        mode: _run_portability(mode == "shared", opens)
+        for mode in ("shared", "per-replica")
+    }
+    report.add_table(
+        ["share mode", "opens", "0-RTT", "cross att", "cross acc",
+         "1-RTT fallbacks", "key mismatch"],
+        [
+            (
+                mode,
+                r["counters"].opens,
+                r["counters"].zero_rtt_accepts,
+                r["counters"].cross_attempts,
+                r["counters"].cross_accepts,
+                r["counters"].fallbacks_1rtt,
+                r["counters"].key_mismatches,
+            )
+            for mode, r in port.items()
+        ],
+    )
+    shared_c = port["shared"]["counters"]
+    per_c = port["per-replica"]["counters"]
+    report.check(
+        "shared share: cross-replica 0-RTT attempts occurred",
+        shared_c.cross_attempts, 1, opens,
+    )
+    report.check(
+        "shared share: cross-replica 0-RTT acceptance (%)",
+        100.0 * shared_c.cross_accepts / max(1, shared_c.cross_attempts),
+        100.0, 100.0,
+    )
+    report.check(
+        "shared share: 1-RTT fallbacks", shared_c.fallbacks_1rtt, 0, 0
+    )
+    report.check(
+        "per-replica shares: cross-replica 0-RTT acceptance (%)",
+        100.0 * per_c.cross_accepts / max(1, per_c.cross_attempts), 0.0, 0.0,
+    )
+    report.check(
+        "per-replica shares: every cross attempt fell back to 1-RTT",
+        per_c.fallbacks_1rtt, per_c.cross_attempts, per_c.cross_attempts,
+    )
+    report.check(
+        "client/server traffic-key mismatches",
+        shared_c.key_mismatches + per_c.key_mismatches, 0, 0,
+    )
+    report.check(
+        "drain completeness: sessions moved == sessions present",
+        port["shared"]["moved"], port["shared"]["pre_drain"],
+        port["shared"]["pre_drain"],
+    )
+    report.check(
+        "drain leaves zero sessions behind", port["shared"]["left"], 0, 0
+    )
+    report.check(
+        "no session lost across open+drain",
+        port["shared"]["alive"], opens, opens,
+    )
+
+    # 2. Consistent-hash vs least-loaded under skewed keys.
+    skew = {}
+    for policy in ("consistent-hash", "least-loaded"):
+        engine, result = _run_skew(policy, quick)
+        shares = {
+            r: engine.replica_issued[r] / max(1, result.issued)
+            for r in engine.replica_indices
+        }
+        skew[policy] = (engine, result, shares)
+    report.add_table(
+        ["policy", "issued", "done", "p50 slow", "p99 slow",
+         "max replica share", "served r2/r3", "integ errs"],
+        [
+            (
+                policy,
+                result.issued,
+                result.completed,
+                round(result.p50, 2),
+                round(result.p99, 2),
+                round(max(shares.values()), 3),
+                "/".join(
+                    str(engine.harness.requests_served[r])
+                    for r in engine.replica_indices
+                ),
+                result.integrity_errors,
+            )
+            for policy, (engine, result, shares) in skew.items()
+        ],
+    )
+    ch_result = skew["consistent-hash"][1]
+    p2c_result = skew["least-loaded"][1]
+    report.check(
+        "least-loaded p99 slowdown beats consistent-hash p99",
+        float(p2c_result.p99 < ch_result.p99), 1, 1,
+    )
+    report.check(
+        "consistent-hash concentrates the hot keys (max replica share)",
+        max(skew["consistent-hash"][2].values()), 0.60, 1.00,
+    )
+    report.check(
+        "least-loaded spreads below the hash hotspot",
+        float(
+            max(skew["least-loaded"][2].values())
+            < max(skew["consistent-hash"][2].values())
+        ),
+        1, 1,
+    )
+    report.check(
+        "skewed runs: RPCs completed",
+        ch_result.completed + p2c_result.completed,
+        ch_result.issued + p2c_result.issued,
+        ch_result.issued + p2c_result.issued,
+    )
+    report.check(
+        "skewed runs: integrity errors",
+        ch_result.integrity_errors + p2c_result.integrity_errors, 0, 0,
+    )
+    report.check(
+        "skewed runs: unroutable arrivals",
+        skew["consistent-hash"][0].unroutable
+        + skew["least-loaded"][0].unroutable,
+        0, 0,
+    )
+
+    # 3. Oscillation: naive vs hysteresis vs dwell-damped.
+    ticks = 120 if quick else 300
+    osc = {
+        "naive (1/1)": _run_oscillation(1, 1, 0.0, ticks),
+        "hysteresis (2/2)": _run_oscillation(2, 2, 0.0, ticks),
+        "dwell (1/1 + hold)": _run_oscillation(1, 1, 500e-6, ticks),
+    }
+    report.add_table(
+        ["checker", "probes", "transitions", "suppressed", "herd moves"],
+        [
+            (name, c.probes, c.transitions, c.suppressed_flaps, moves)
+            for name, (c, _reg, moves) in osc.items()
+        ],
+    )
+    naive_c, _, naive_moves = osc["naive (1/1)"]
+    hyst_c, _, hyst_moves = osc["hysteresis (2/2)"]
+    dwell_c, _, dwell_moves = osc["dwell (1/1 + hold)"]
+    report.check(
+        "naive checker flaps at probe frequency (transitions)",
+        naive_c.transitions, ticks - 2, ticks,
+    )
+    report.check("naive checker herds keys (moves)", naive_moves, 1, 10**9)
+    report.check(
+        "hysteresis transitions under the same flapping probe",
+        hyst_c.transitions, 0, 0,
+    )
+    report.check("hysteresis herd moves", hyst_moves, 0, 0)
+    report.check(
+        "dwell window suppresses one-strike flips (suppressed count)",
+        dwell_c.suppressed_flaps, 1, 10**9,
+    )
+    report.check(
+        "dwell-damped transitions well below naive",
+        float(dwell_c.transitions <= naive_c.transitions // 10), 1, 1,
+    )
+    report.check("dwell herd moves below naive", float(
+        dwell_moves < naive_moves), 1, 1)
+
+    # 4. DNS-TTL staleness racing a replica crash.
+    stale = _run_staleness(quick)
+    sc = stale["counters"]
+    cache = stale["cache"]
+    rotator = stale["rotator"]
+    report.add_table(
+        ["opens", "0-RTT", "1-RTT fallbacks", "stale served", "unavailable",
+         "missed installs", "resyncs", "revived rejects", "unhandled"],
+        [(
+            sc.opens, sc.zero_rtt_accepts, sc.fallbacks_1rtt,
+            cache.stale_served, cache.unavailable,
+            rotator.missed_installs, rotator.resyncs,
+            stale["revived_rejects"], len(stale["failures"]),
+        )],
+    )
+    report.check(
+        "staleness: unhandled errors during opens",
+        len(stale["failures"]), 0, 0,
+    )
+    report.check(
+        "staleness: refresh raced TTL but cached ticket served (count)",
+        cache.stale_served, 1, sc.opens,
+    )
+    report.check(
+        "staleness: windows with no usable ticket (1-RTT fallback)",
+        cache.unavailable, 1, sc.opens,
+    )
+    report.check(
+        "staleness: 1-RTT fallbacks cover every unavailable window",
+        float(sc.fallbacks_1rtt >= cache.unavailable), 1, 1,
+    )
+    report.check(
+        "crashed replica missed the mid-crash rotation (installs)",
+        rotator.missed_installs, 1, 4,
+    )
+    report.check(
+        "revived replica rejected 0-RTT before resync",
+        stale["revived_rejects"], 1, sc.opens,
+    )
+    report.check("rotator resyncs on revival", rotator.resyncs, 1, 2)
+    report.check(
+        "revived replica accepts 0-RTT after resync",
+        stale["revived_accepts"], 1, sc.opens,
+    )
+    report.check(
+        "staleness: traffic-key mismatches", sc.key_mismatches, 0, 0
+    )
+    report.check(
+        "health detected the crash and the revival (transitions)",
+        stale["checker"].transitions, 2, 2,
+    )
+    report.check(
+        "staleness: every open resolved 0-RTT or 1-RTT (conservation)",
+        sc.zero_rtt_accepts + sc.fallbacks_1rtt, sc.opens, sc.opens,
+    )
+    report.check(
+        "staleness: 0-RTT still taken when a usable ticket existed",
+        sc.zero_rtt_accepts, 2, sc.opens,
+    )
+    return report

@@ -129,12 +129,21 @@ class ZeroRttServer:
         self._seen_chlo_randoms: set[bytes] = set()
         self.replayed_chlos = 0
 
-    def rotate(self, now: float) -> SmtTicket:
-        """Generate a fresh long-term share and mint its ticket."""
+    def rotate(self, now: float, keypair: Optional[EcdhKeyPair] = None) -> SmtTicket:
+        """Generate a fresh long-term share and mint its ticket.
+
+        ``keypair`` installs an externally-generated share instead of a
+        private one -- the replicated-service case (``repro.lb``): every
+        replica behind one logical service adopts the *same* long-term
+        share, so an SMT-ticket minted by any replica is accepted 0-RTT
+        by all of them (see :class:`repro.ctrl.rotation.SharedShareRotator`).
+        """
         if self.long_term is not None and self.grace_window > 0:
             self.previous = self.long_term
             self.previous_grace_until = now + self.grace_window
-        self.long_term = EcdhKeyPair.generate(self._rng)
+        self.long_term = keypair if keypair is not None else EcdhKeyPair.generate(
+            self._rng
+        )
         self.rotated_at = now
         self._seen_chlo_randoms.clear()
         ticket = SmtTicket(
@@ -149,6 +158,20 @@ class ZeroRttServer:
             ticket.server_name, ticket.long_term_share, ticket.chain,
             ticket.not_after, signature,
         )
+
+    def forget_share(self) -> None:
+        """The server process died: its in-memory shares vanish.
+
+        Until a rotation (or a :class:`SharedShareRotator` resync)
+        installs a fresh share, every 0-RTT attempt raises and clients
+        must fall back to the 1-RTT handshake -- the window the
+        DNS-TTL-staleness scenario measures.
+        """
+        self.long_term = None
+        self.previous = None
+        self.previous_grace_until = -1.0
+        self.rotated_at = -1.0
+        self._seen_chlo_randoms.clear()
 
     def accept_zero_rtt(
         self,

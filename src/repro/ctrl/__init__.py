@@ -10,7 +10,7 @@ connection-churn rates.
 from repro.ctrl.keypool import KeyPool
 from repro.ctrl.plane import ControlPlane, CtrlConfig
 from repro.ctrl.rekey import ManagedSession, RekeyManager
-from repro.ctrl.rotation import TicketCache, TicketRotator
+from repro.ctrl.rotation import SharedShareRotator, TicketCache, TicketRotator
 from repro.ctrl.session_table import SessionTable
 
 __all__ = [
@@ -20,6 +20,7 @@ __all__ = [
     "ManagedSession",
     "RekeyManager",
     "SessionTable",
+    "SharedShareRotator",
     "TicketCache",
     "TicketRotator",
 ]

@@ -99,6 +99,11 @@ class ControlPlane:
         self._next_lane = 0
         self._managed: list = []  # sessions with an assigned ID lane
         self._rekey_threads: dict[int, object] = {}
+        # The replica's 0-RTT server state, if it serves one (repro.lb):
+        # a crash forgets the in-memory long-term share, so a revived
+        # replica rejects 0-RTT until the service's SharedShareRotator
+        # resyncs it -- the ticket-portability gap the frontend measures.
+        self.zero_rtt = None
         host.ctrl = self
         obs = getattr(self.loop, "obs", None)
         if obs is not None:
@@ -124,6 +129,10 @@ class ControlPlane:
         return HandshakeConfig(**kwargs)
 
     # -- hooks called by SmtEndpoint -------------------------------------------
+
+    def attach_zero_rtt(self, zserver) -> None:
+        """Tie ``zserver``'s share lifetime to this host's process."""
+        self.zero_rtt = zserver
 
     def admit_handshake(self) -> bool:
         return self.table.admit()
@@ -180,6 +189,8 @@ class ControlPlane:
         self.ecdh_pool.clear()
         if self.ecdsa_pool is not None:
             self.ecdsa_pool.clear()
+        if self.zero_rtt is not None:
+            self.zero_rtt.forget_share()
         self.crashes = getattr(self, "crashes", 0) + 1
 
     def restart(self) -> None:

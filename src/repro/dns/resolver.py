@@ -73,7 +73,7 @@ class InternalDns:
             obs = getattr(loop, "obs", None)
             span = None
             if obs is not None:
-                span = obs.tracer.begin("dns", "dns.lookup", name=name)
+                span = obs.tracer.begin("dns", "dns.lookup", record=name)
             yield loop.timeout(self.lookup_latency)
             if obs is not None:
                 obs.tracer.end(span)

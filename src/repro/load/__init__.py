@@ -12,7 +12,10 @@ The package splits into three layers:
   slowdown aggregation;
 - :mod:`repro.load.incident` — the same open-loop load driven through a
   scripted failure-domain incident, with per-phase slowdown tails and
-  optional resilience-kit wrapping.
+  optional resilience-kit wrapping;
+- :mod:`repro.load.frontend` — arrivals routed through a ``repro.lb``
+  balancer over a replica subset, keyed by a skewed popularity
+  distribution.
 """
 
 from repro.load.cluster import SERVER_PORT, SYSTEMS, ClusterHarness
@@ -26,11 +29,14 @@ from repro.load.distributions import (
     SizeDistribution,
 )
 from repro.load.engine import LoadResult, OpenLoopEngine, wire_bytes
+from repro.load.frontend import FrontendEngine, SkewedKeys
 from repro.load.incident import IncidentEngine, IncidentMetrics
 
 __all__ = [
+    "FrontendEngine",
     "IncidentEngine",
     "IncidentMetrics",
+    "SkewedKeys",
     "SERVER_PORT",
     "SYSTEMS",
     "ClusterHarness",

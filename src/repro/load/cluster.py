@@ -179,6 +179,11 @@ class ClusterHarness:
         self.hosts = bed.hosts
         #: Requests whose fill failed server-side verification.
         self.server_integrity_errors = 0
+        #: Per-host served-request counts -- the replica-side evidence the
+        #: frontend experiments read (which replica actually absorbed the
+        #: balanced load, independent of client-side bookkeeping).
+        self.requests_served = [0] * len(self.hosts)
+        self._index_of = {host.addr: i for i, host in enumerate(self.hosts)}
         self._socks: list[HomaSocket] = []
         self._stream_clients: dict[tuple[int, int], _StreamRpcClient] = {}
         if system in ("homa", "smt"):
@@ -233,6 +238,7 @@ class ClusterHarness:
         while True:
             rpc = yield from sock.recv_request(thread)
             response, ok = handle_request(rpc.payload)
+            self.requests_served[i] += 1
             if not ok:
                 self.server_integrity_errors += 1
             yield from sock.reply(thread, rpc, response)
@@ -257,19 +263,24 @@ class ClusterHarness:
                     self.bed.loop, src.app_thread(ordinal), chan_c
                 )
                 self.bed.loop.process(
-                    self._serve_stream(chan_s, dst.app_thread(ordinal))
+                    self._serve_stream(chan_s, dst.app_thread(ordinal), j)
                 )
 
-    def _serve_stream(self, channel, thread):
+    def _serve_stream(self, channel, thread, host_index: int):
         rpc = RpcChannel(channel)
         while True:
             req_id, payload = yield from rpc.recv_request(thread)
             response, ok = handle_request(payload)
+            self.requests_served[host_index] += 1
             if not ok:
                 self.server_integrity_errors += 1
             yield from rpc.send_response(thread, req_id, response)
 
     # -- engine-facing ------------------------------------------------------------
+
+    def index_of(self, addr: int) -> int:
+        """Host index for an address (replica targets name hosts by addr)."""
+        return self._index_of[addr]
 
     def thread_for(self, src: int, serial: int):
         """A source-host app thread, rotated per RPC serial."""

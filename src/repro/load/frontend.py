@@ -1,0 +1,131 @@
+"""Open-loop load through a replicated-service front end.
+
+:class:`FrontendEngine` specialises :class:`OpenLoopEngine` for the
+L4-balanced shape: a *client* subset of hosts generates Poisson arrivals
+(same per-sender uplink-load semantics), and every RPC's destination is
+chosen by a :class:`repro.lb.balancer.Balancer` over the *replica*
+subset -- keyed by a popularity-skewed balancing key, load-signalled by
+the client-side outstanding-request counts.  This is where the
+consistent-hash vs least-loaded trade-off becomes measurable: under a
+skewed key distribution the hash ring concentrates the hot keys' traffic
+on one replica (queueing blows up its p99 slowdown) while
+power-of-two-choices spreads it.
+
+``live_fn`` optionally health-gates the candidate set per arrival (the
+fuzz suite wires it to HealthChecker verdicts), so a declared-down
+replica stops receiving new work the instant membership changes.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_right
+from typing import Callable, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.load.engine import OpenLoopEngine
+from repro.sim.trace import Histogram
+
+
+class SkewedKeys:
+    """Zipf-like key popularity: P(rank r) proportional to 1/(r+1)**s.
+
+    With ``exponent`` around 1 and a small key space, the top key draws
+    an outsized share of arrivals -- the regime where affinity balancing
+    hotspots.  ``hot_share(k)`` reports the probability mass of the top
+    ``k`` keys so benches can state the skew they ran with.
+    """
+
+    def __init__(self, num_keys: int, exponent: float = 1.2):
+        if num_keys < 1:
+            raise ReproError(f"need >= 1 key, got {num_keys}")
+        weights = [1.0 / (r + 1) ** exponent for r in range(num_keys)]
+        total = sum(weights)
+        self.num_keys = num_keys
+        self.exponent = exponent
+        self._cumulative = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            self._cumulative.append(acc)
+        self._cumulative[-1] = 1.0
+
+    def sample(self, rng: random.Random) -> int:
+        return bisect_right(self._cumulative, rng.random())
+
+    def hot_share(self, k: int = 1) -> float:
+        return self._cumulative[min(k, self.num_keys) - 1]
+
+
+class FrontendEngine(OpenLoopEngine):
+    """Open-loop load where a balancer picks each RPC's replica."""
+
+    def __init__(
+        self,
+        harness,
+        distribution,
+        load: float,
+        duration: float,
+        balancer,
+        clients: Sequence[int],
+        replicas: Sequence[int],
+        keys: SkewedKeys,
+        live_fn: Optional[Callable[[], Sequence[int]]] = None,
+        seed: int = 0,
+        **kwargs,
+    ):
+        super().__init__(harness, distribution, load, duration, seed=seed, **kwargs)
+        if set(clients) & set(replicas):
+            raise ReproError("client and replica host sets must be disjoint")
+        self.clients = list(clients)
+        self.replica_indices = list(replicas)
+        self.balancer = balancer
+        self.keys = keys
+        self.live_fn = live_fn
+        self.replica_outstanding: dict[int, int] = {r: 0 for r in replicas}
+        self.replica_issued: dict[int, int] = {r: 0 for r in replicas}
+        self.replica_slowdowns: dict[int, Histogram] = {
+            r: Histogram(f"replica{r}") for r in replicas
+        }
+        self.unroutable = 0
+
+    def _route(self, key: int) -> Optional[int]:
+        cands = (
+            list(self.live_fn()) if self.live_fn is not None
+            else self.replica_indices
+        )
+        if not cands:
+            return None
+        return self.balancer.pick(key, cands, self.replica_outstanding)
+
+    def _one_rpc(self, src: int, dst: int, size: int, serial: int):
+        self.replica_outstanding[dst] += 1
+        self.replica_issued[dst] += 1
+        before = self.result.completed
+        try:
+            yield from super()._one_rpc(src, dst, size, serial)
+        finally:
+            self.replica_outstanding[dst] -= 1
+        if self.result.completed > before and len(self.result_hist):
+            self.replica_slowdowns[dst].record(self.result_hist._samples[-1])
+
+    def _arrivals(self, src: int, end_time: float):
+        # Only the client subset generates load; the engine's base run()
+        # spawns an arrival process per host, so the rest no-op here.
+        if src not in self.clients:
+            return
+        loop = self.bed.loop
+        rng = random.Random(self.seed * 1_000_003 + src)
+        while True:
+            yield loop.timeout(rng.expovariate(self.per_sender_rate))
+            if loop.now >= end_time:
+                return
+            key = self.keys.sample(rng)
+            dst = self._route(key)
+            if dst is None:
+                self.unroutable += 1
+                continue
+            size = self.dist.sample(rng)
+            serial = self._next_serial()
+            self.result.issued += 1
+            loop.process(self._one_rpc(src, dst, size, serial))

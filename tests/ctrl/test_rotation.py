@@ -8,7 +8,7 @@ from repro.core.zero_rtt import ZeroRttClient, ZeroRttServer, share_fingerprint
 from repro.crypto.ca import CertificateAuthority
 from repro.crypto.cert import KEY_ALG_ECDSA
 from repro.crypto.ecdsa import EcdsaKeyPair
-from repro.ctrl import TicketCache, TicketRotator
+from repro.ctrl import SharedShareRotator, TicketCache, TicketRotator
 from repro.dns.resolver import InternalDns
 from repro.errors import ProtocolError
 from repro.sim.event_loop import EventLoop
@@ -214,6 +214,171 @@ class TestTicketCache:
         rotator.stop()
         assert done.triggered and done.ok
         assert cache.refreshes == 2 and cache_queries == [2]
+
+
+class TestTicketCacheStalenessRace:
+    """Regression: a refresh racing the record's TTL degrades, never raises.
+
+    ``InternalDns._reap`` removes an expired record the moment any query
+    touches the table; a :class:`TicketCache` refresh *inside* its
+    ``refresh_margin`` can therefore find nothing to fetch while the
+    cached ticket itself is still verifiable.  ``get`` must serve the
+    cached ticket through that window and return ``None`` (1-RTT
+    fallback) once the ticket expires too -- raising here would turn a
+    routine replica failover into a client-visible error.
+    """
+
+    def _cache_with_expired_record(self, pki, loop):
+        ca, _chain, _key = pki
+        dns = InternalDns()
+        zserver = make_zserver(pki, lifetime=10.0)
+        # One publish with a TTL far shorter than the share lifetime:
+        # the record dies at t=2, the ticket stays valid until t=10.
+        rotator = TicketRotator(loop, zserver, dns, "svc", period=100.0, ttl=2.0)
+        rotator.start()
+        return dns, TicketCache(dns, (ca.certificate,), refresh_margin=8.0)
+
+    def test_reaped_record_inside_margin_serves_cached_ticket(self, pki):
+        loop = EventLoop()
+        _dns, cache = self._cache_with_expired_record(pki, loop)
+        got = []
+
+        def body():
+            t1 = yield from cache.get("svc", loop)  # fills the cache
+            yield loop.timeout(5.0)
+            # now=5: margin forces a refresh, but the record expired at 2
+            # -- the cached ticket is still good until 10, so it is served.
+            t2 = yield from cache.get("svc", loop)
+            got.extend([t1, t2])
+
+        done = loop.process(body())
+        loop.run(until=6.0)
+        assert done.triggered and done.ok, getattr(done, "value", None)
+        assert got[1] is got[0]
+        assert cache.stale_served == 1
+        assert cache.unavailable == 0
+
+    def test_expired_ticket_returns_none_for_1rtt_fallback(self, pki):
+        loop = EventLoop()
+        _dns, cache = self._cache_with_expired_record(pki, loop)
+        got = []
+
+        def body():
+            yield from cache.get("svc", loop)
+            yield loop.timeout(11.0)  # past the ticket's own not_after
+            got.append((yield from cache.get("svc", loop)))
+            # The dead entry was dropped: the next miss is also clean.
+            got.append((yield from cache.get("svc", loop)))
+
+        done = loop.process(body())
+        loop.run(until=12.0)
+        assert done.triggered and done.ok, getattr(done, "value", None)
+        assert got == [None, None]
+        assert cache.unavailable == 2
+        assert cache.stale_served == 0
+
+    def test_explicit_reap_then_get_never_raises(self, pki):
+        loop = EventLoop()
+        dns, cache = self._cache_with_expired_record(pki, loop)
+
+        def body():
+            yield from cache.get("svc", loop)
+            yield loop.timeout(5.0)
+            # Another name's publish reaps the expired "svc" record
+            # first -- the exact interleaving the original bug hit.
+            dns.publish("other", 1, loop.now, ttl=1.0)
+            assert "svc" not in dns._records
+            t = yield from cache.get("svc", loop)
+            assert t is not None  # cached ticket still verifiable
+            yield loop.timeout(6.0)  # now=11: nothing usable remains
+            t = yield from cache.get("svc", loop)
+            assert t is None
+
+        done = loop.process(body())
+        loop.run(until=12.0)
+        assert done.triggered and done.ok, getattr(done, "value", None)
+        assert cache.stale_served == 1 and cache.unavailable == 1
+
+
+class TestSharedShareRotator:
+    def _zservers(self, pki, n, lifetime=10.0, grace=2.0):
+        return [
+            make_zserver(pki, lifetime=lifetime, grace_window=grace, seed=50 + i)
+            for i in range(n)
+        ]
+
+    def test_all_replicas_hold_the_same_share(self, pki):
+        loop = EventLoop()
+        dns = InternalDns()
+        zservers = self._zservers(pki, 3)
+        rotator = SharedShareRotator(
+            loop, zservers, dns, "svc", rng=random.Random(3), period=1.0
+        )
+        rotator.start()
+        shares = {z.long_term.public_bytes() for z in zservers}
+        assert len(shares) == 1
+        ticket = dns.query("svc", loop.now)
+        assert ticket.long_term_share in shares
+
+    def test_cross_replica_ticket_acceptance(self, pki):
+        ca, _chain, _key = pki
+        loop = EventLoop()
+        dns = InternalDns()
+        zservers = self._zservers(pki, 2)
+        SharedShareRotator(
+            loop, zservers, dns, "svc", rng=random.Random(3), period=1.0
+        ).start()
+        ticket = dns.query("svc", loop.now)
+        client = ZeroRttClient(ticket, (ca.certificate,), now=0.1,
+                               rng=random.Random(4))
+        share, chlo_random, cw, _sw, _ops = client.start()
+        # Accepted by the *other* replica, not just the minter.
+        got_cw, _got_sw, _trace = zservers[1].accept_zero_rtt(
+            share, chlo_random, now=0.2,
+            client_share_fp=share_fingerprint(ticket.long_term_share),
+        )
+        assert got_cw.key == cw.key
+
+    def test_dead_replica_misses_install_until_resync(self, pki):
+        loop = EventLoop()
+        dns = InternalDns()
+        zservers = self._zservers(pki, 2)
+        up = {0: True, 1: False}
+        rotator = SharedShareRotator(
+            loop, zservers, dns, "svc", rng=random.Random(3), period=1.0,
+            up_fn=lambda i: up[i],
+        )
+        rotator.start()
+        assert rotator.missed_installs == 1
+        assert zservers[1].long_term is None or (
+            zservers[1].long_term.public_bytes()
+            != rotator.current.public_bytes()
+        )
+        up[1] = True
+        rotator.resync(zservers[1])
+        assert rotator.resyncs == 1
+        assert (zservers[1].long_term.public_bytes()
+                == rotator.current.public_bytes())
+        # Idempotent: a second resync is a no-op.
+        rotator.resync(zservers[1])
+        assert rotator.resyncs == 1
+
+    def test_all_replicas_down_publishes_nothing(self, pki):
+        loop = EventLoop()
+        dns = InternalDns()
+        rotator = SharedShareRotator(
+            loop, self._zservers(pki, 2), dns, "svc",
+            rng=random.Random(3), period=1.0, up_fn=lambda i: False,
+        )
+        rotator.start()
+        assert rotator.rotations == 0
+        assert rotator.missed_installs == 2
+        with pytest.raises(ProtocolError, match="no DNS record"):
+            dns.query("svc", loop.now)
+
+    def test_empty_replica_set_rejected(self):
+        with pytest.raises(ProtocolError):
+            SharedShareRotator(EventLoop(), [], InternalDns(), "svc")
 
 
 class TestDnsLifecycle:

@@ -55,3 +55,10 @@ class TestExamples:
         out = run_example("incident_drill.py", capsys)
         assert "3 re-handshakes" in out
         assert "OK: incident drill survived" in out
+
+    def test_replica_frontend(self, capsys):
+        out = run_example("replica_frontend.py", capsys)
+        assert "5/5 cross-replica accepted" in out
+        assert "0/5 cross-replica accepted" in out
+        assert "0 unhandled errors" in out
+        assert "OK: replicated front end kept every open alive." in out
