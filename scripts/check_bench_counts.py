@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Count-based perf regression gate for the CI perf-smoke job.
+
+Every benchmark runs in virtual time with fixed seeds, so the number of
+event-loop events a ``--quick`` run dispatches is *exactly* reproducible:
+same code, same count, on any machine.  Wall-clock time is not -- CI
+runners vary severalfold -- so this gate checks event counts and never
+durations.  ``events_per_sec`` is still recorded in every report's
+``perf`` key for humans reading the artifacts; here we only require that
+it was measured, not that it is fast.
+
+A mismatch means the run did different *work*, which is either a real
+behaviour change (update EXPECTED_EVENTS in the same PR and say why in
+the PR description) or an accidental perf regression such as a timer
+leak or a retransmit storm -- the failure modes this gate exists to
+catch before they hide behind noisy wall-clock numbers.
+
+Usage: python scripts/check_bench_counts.py BENCH_DIR
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+# Exact event counts for `python -m repro.bench <name> --quick`.
+EXPECTED_EVENTS = {
+    "perf": 51321,
+    "loaded": 169902,
+    "incident": 582358,
+}
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__.strip().splitlines()[-1], file=sys.stderr)
+        return 2
+    bench_dir = Path(argv[1])
+    failures = []
+    for name, expected in EXPECTED_EVENTS.items():
+        path = bench_dir / f"BENCH_{name}.json"
+        report = json.loads(path.read_text())
+        perf = report.get("perf")
+        if not perf:
+            failures.append(f"{name}: report has no 'perf' section")
+            continue
+        events = perf.get("events")
+        eps = perf.get("events_per_sec")
+        line = f"{name}: {events} events, {eps} events/sec"
+        if not isinstance(eps, int) or eps <= 0:
+            failures.append(f"{line} -- events_per_sec not recorded")
+        elif events != expected:
+            failures.append(
+                f"{line} -- expected exactly {expected} events "
+                f"({events - expected:+d}); if this change is intentional, "
+                f"update EXPECTED_EVENTS in {Path(__file__).name}"
+            )
+        else:
+            print(f"  [OK  ] {line} (expected {expected})")
+    for failure in failures:
+        print(f"  [FAIL] {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

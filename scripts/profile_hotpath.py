@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Profile the hot receive path: cProfile one bench and print the top table.
+
+Future perf PRs start from data, not vibes::
+
+    PYTHONPATH=src python scripts/profile_hotpath.py            # loaded --quick
+    PYTHONPATH=src python scripts/profile_hotpath.py incident   # another bench
+    PYTHONPATH=src python scripts/profile_hotpath.py --rows 40  # deeper table
+    PYTHONPATH=src python scripts/profile_hotpath.py --sort tottime
+
+Runs the selected experiment exactly as the fleet would (``quick=True``
+when the experiment supports it) under :mod:`cProfile` and prints the
+top rows by cumulative time.  Band-check misses are reported but do not
+fail the profile run -- wall-clock under a profiler is not a benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="cProfile one bench experiment and print the hot functions."
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        default="loaded",
+        help="experiment name from repro.bench.fleet (default: loaded)",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run the full-size experiment instead of --quick",
+    )
+    parser.add_argument(
+        "--rows", type=int, default=20, help="table rows to print (default: 20)"
+    )
+    parser.add_argument(
+        "--sort",
+        default="cumulative",
+        choices=["cumulative", "tottime", "ncalls"],
+        help="pstats sort key (default: cumulative)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="FILE", help="also dump raw pstats to FILE"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.bench.fleet import EXPERIMENTS, _QUICK_AWARE
+
+    fn = EXPERIMENTS.get(args.experiment)
+    if fn is None:
+        parser.error(
+            f"unknown experiment {args.experiment!r}; "
+            f"choose from: {', '.join(EXPERIMENTS)}"
+        )
+    quick = args.experiment in _QUICK_AWARE and not args.full
+    size = "quick" if quick else "full"
+    print(f"profiling {args.experiment} ({size}) ...", file=sys.stderr)
+
+    profile = cProfile.Profile()
+    profile.enable()
+    report = fn(quick=True) if quick else fn()
+    profile.disable()
+
+    if report.misses:
+        print(
+            f"note: {len(report.misses)} band check(s) missed under the "
+            "profiler (informational only)",
+            file=sys.stderr,
+        )
+    stats = pstats.Stats(profile)
+    if args.out:
+        stats.dump_stats(args.out)
+        print(f"raw pstats written to {args.out}", file=sys.stderr)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.rows)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -145,6 +145,46 @@ class SmtCodec:
         # Zero-copy: record plaintexts are memoryview slices; they become
         # bytes only inside seal() (or the join building the NIC layout).
         view = memoryview(payload)
+        if not offload:
+            # Software seal: gather every record of the message first, then
+            # seal the whole message in one batch so the AEAD generates its
+            # keystream tiles across all records in a single pass.
+            items: list[tuple] = []
+            seg_counts: list[int] = []
+            for seg in frame.segments:
+                count = 0
+                for rec in seg.records:
+                    if rec.index >= max_records:
+                        alloc.encode(msg_id, rec.index)  # raises the canonical error
+                    items.append(
+                        (
+                            view[
+                                rec.plaintext_offset : rec.plaintext_offset
+                                + rec.plaintext_len
+                            ],
+                            CONTENT_APPLICATION_DATA,
+                            seq_base | rec.index,
+                        )
+                    )
+                    cpu += self.costs.smt_frame_per_record
+                    cpu += self.costs.crypto_cost(rec.plaintext_len)
+                    self.records_sealed += 1
+                    count += 1
+                seg_counts.append(count)
+            sealed = self.session.write_protection.seal_batch(items)
+            start = 0
+            for seg, count in zip(frame.segments, seg_counts):
+                seg_payload = b"".join(sealed[start : start + count])
+                start += count
+                if len(seg_payload) != seg.wire_len:
+                    raise ProtocolError("framing plan and wire bytes disagree")
+                plans.append(SegmentPlan(seg.tso_offset, seg_payload, tls=None))
+            return EncodedMessage(
+                wire_len=frame.wire_len,
+                plans=plans,
+                tx_cpu_cost=cpu,
+                nic_queue=queue,
+            )
         for seg in frame.segments:
             chunks: list[bytes] = []
             descriptors = []
@@ -156,40 +196,29 @@ class SmtCodec:
                     rec.plaintext_offset : rec.plaintext_offset + rec.plaintext_len
                 ]
                 cpu += self.costs.smt_frame_per_record
-                if offload:
-                    # Plaintext layout the NIC encrypts in place: header,
-                    # plaintext, content-type placeholder, zero tag.
-                    chunks.append(
-                        b"".join(
-                            (
-                                encode_record_header(rec.plaintext_len + 1 + TAG_SIZE),
-                                plaintext,
-                                bytes(1 + TAG_SIZE),
-                            )
+                # Plaintext layout the NIC encrypts in place: header,
+                # plaintext, content-type placeholder, zero tag.
+                chunks.append(
+                    b"".join(
+                        (
+                            encode_record_header(rec.plaintext_len + 1 + TAG_SIZE),
+                            plaintext,
+                            bytes(1 + TAG_SIZE),
                         )
                     )
-                    descriptors.append(
-                        self.session.record_descriptor(
-                            rec.segment_offset, rec.plaintext_len, seqno
-                        )
-                    )
-                else:
-                    chunks.append(
-                        self.session.write_protection.seal(
-                            plaintext, CONTENT_APPLICATION_DATA, seqno=seqno
-                        )
-                    )
-                    cpu += self.costs.crypto_cost(rec.plaintext_len)
-                self.records_sealed += 1
-            if offload:
-                context_key = (
-                    self.session.message_context_key(queue, msg_id)
-                    if self.context_per_message
-                    else self.session.context_key(queue)
                 )
-                tls = TlsOffloadDescriptor(context_key, descriptors)
-            else:
-                tls = None
+                descriptors.append(
+                    self.session.record_descriptor(
+                        rec.segment_offset, rec.plaintext_len, seqno
+                    )
+                )
+                self.records_sealed += 1
+            context_key = (
+                self.session.message_context_key(queue, msg_id)
+                if self.context_per_message
+                else self.session.context_key(queue)
+            )
+            tls = TlsOffloadDescriptor(context_key, descriptors)
             seg_payload = b"".join(chunks)
             if len(seg_payload) != seg.wire_len:
                 raise ProtocolError("framing plan and wire bytes disagree")
@@ -234,16 +263,23 @@ class SmtCodec:
         view = memoryview(wire)
         off = 0
         index = 0
+        open_parsed = self.session.read_protection.open_parsed
         while off < total:
-            _outer, ct_len = parse_record_header(view[off : off + RECORD_HEADER_SIZE])
-            end = off + RECORD_HEADER_SIZE + ct_len
+            header = view[off : off + RECORD_HEADER_SIZE]
+            outer, ct_len = parse_record_header(header)
+            body_start = off + RECORD_HEADER_SIZE
+            end = body_start + ct_len
             if end > total:
                 raise ProtocolError("truncated record in reassembled message")
             if index >= max_records:
                 alloc.encode(msg_id, index)  # raises the canonical error
             seqno = seq_base | index
             try:
-                record = self.session.read_protection.open(view[off:end], seqno=seqno)
+                if outer != CONTENT_APPLICATION_DATA:
+                    raise ProtocolError(f"unexpected outer content type {outer}")
+                # The boundary walk just parsed the header, so hand the
+                # pre-split slices straight to the record layer.
+                record = open_parsed(header, view[body_start:end], seqno)
             except Exception:
                 self.auth_failures += 1
                 raise

@@ -141,6 +141,10 @@ class PlainCodec:
         return EncodedMessage(wire_len=len(payload), plans=plans)
 
     def decode(self, msg_id: int, wire: bytes) -> DecodedMessage:
+        # Reassembly hands over a memoryview into the message's receive
+        # buffer; the app-visible payload must be immutable owned bytes.
+        if not isinstance(wire, bytes):
+            wire = bytes(wire)
         return DecodedMessage(payload=wire)
 
     def accept_message(self, msg_id: int) -> bool:

@@ -39,28 +39,60 @@ def sort_circular_ipids(ipids: list[int]) -> list[int]:
 
 
 class SegmentAssembler:
-    """Collects the packets of one TSO segment."""
+    """Collects the packets of one TSO segment.
 
-    def __init__(self, seg_len: int, mss: int):
+    Payload lands in a contiguous buffer: standalone assemblers own a
+    ``bytearray(seg_len)``; assemblers created by :class:`InboundMessage`
+    write through a memoryview window into the message-wide preallocated
+    buffer, so completing the last segment completes the whole wire image
+    with no join pass (Reverso-style contiguous reassembly).
+
+    Writes happen only at completion time, once packet lengths are known
+    to sum to ``seg_len`` -- a malformed set of packets raises before a
+    single byte reaches the shared buffer.
+    """
+
+    __slots__ = (
+        "seg_len",
+        "mss",
+        "num_packets",
+        "complete",
+        "spurious",
+        "_view",
+        "_ipids",
+        "_tso_payloads",
+        "_by_offset",
+    )
+
+    def __init__(self, seg_len: int, mss: int, view: Optional[memoryview] = None):
         self.seg_len = seg_len
         self.mss = mss
         self.num_packets = max(1, (seg_len + mss - 1) // mss)
-        self._by_ipid: dict[int, bytes] = {}
+        if view is None:
+            view = memoryview(bytearray(seg_len))
+        self._view = view
+        self._ipids: list[int] = []
+        self._tso_payloads: list[bytes] = []
         self._by_offset: dict[int, bytes] = {}
-        self.complete_data: Optional[bytes] = None
+        self.complete = False
         self.spurious = 0
 
     @property
-    def complete(self) -> bool:
-        return self.complete_data is not None
+    def complete_data(self) -> Optional[bytes]:
+        return bytes(self._view) if self.complete else None
 
     def add_tso_packet(self, ipid: int, payload: bytes) -> None:
         """A normal (rank-unknown) packet cut by TSO."""
-        if self.complete or ipid in self._by_ipid:
+        if self.complete or ipid in self._ipids:
             self.spurious += 1
             return
-        self._by_ipid[ipid] = payload
-        self._try_assemble()
+        self._ipids.append(ipid)
+        self._tso_payloads.append(payload)
+        # Pure-TSO completion: every packet arrived normally.
+        if len(self._ipids) == self.num_packets:
+            order = sort_circular_ipids(self._ipids)
+            by_ipid = dict(zip(self._ipids, self._tso_payloads))
+            self._finish([by_ipid[ipid] for ipid in order])
 
     def add_explicit_packet(self, offset: int, payload: bytes) -> None:
         """A retransmitted packet carrying its in-segment byte offset."""
@@ -70,38 +102,33 @@ class SegmentAssembler:
         if offset % self.mss != 0 or offset + len(payload) > self.seg_len:
             raise ProtocolError(f"bad explicit packet offset {offset}")
         self._by_offset[offset] = payload
-        self._try_assemble()
-
-    def _try_assemble(self) -> None:
-        npkts = self.num_packets
-        # Pure-TSO path: every packet arrived normally.
-        if len(self._by_ipid) == npkts:
-            chunks = [
-                self._by_ipid[ipid] for ipid in sort_circular_ipids(list(self._by_ipid))
-            ]
-            self._finish(b"".join(chunks))
-            return
-        # Pure-explicit path: retransmissions cover the whole segment.
-        explicit_slots = set(self._by_offset)
-        all_slots = {i * self.mss for i in range(npkts)}
-        if explicit_slots == all_slots:
-            data = b"".join(self._by_offset[off] for off in sorted(self._by_offset))
-            self._finish(data)
-            return
+        # Pure-explicit completion: retransmissions cover the whole segment.
         # No mixed path: combining rank-unknown TSO packets with explicit
         # retransmissions is ambiguous (a lost tail plus an explicit head
         # can pass any relative-spacing check while misplacing every
         # packet).  Retransmissions always carry explicit offsets and a
         # RESEND re-requests the whole segment, so explicit coverage
         # completes any segment the pure-TSO path cannot.
+        if len(self._by_offset) == self.num_packets and set(self._by_offset) == {
+            i * self.mss for i in range(self.num_packets)
+        }:
+            self._finish([self._by_offset[off] for off in sorted(self._by_offset)])
 
-    def _finish(self, data: bytes) -> None:
-        if len(data) != self.seg_len:
+    def _finish(self, chunks: list[bytes]) -> None:
+        total = sum(len(c) for c in chunks)
+        if total != self.seg_len:
             raise ProtocolError(
-                f"segment assembled to {len(data)} bytes, expected {self.seg_len}"
+                f"segment assembled to {total} bytes, expected {self.seg_len}"
             )
-        self.complete_data = data
-        self._by_ipid.clear()
+        view = self._view
+        pos = 0
+        for chunk in chunks:
+            end = pos + len(chunk)
+            view[pos:end] = chunk
+            pos = end
+        self.complete = True
+        self._ipids = []
+        self._tso_payloads = []
         self._by_offset.clear()
 
 
@@ -127,6 +154,17 @@ class InboundMessage:
     # Active RESEND timer handle (repro.sim.Timer); cancelled on delivery
     # instead of letting a dead timer fire and guard-check.
     resend_timer: Optional[object] = None
+    # Message-wide receive buffer, preallocated from the first DATA
+    # header's msg_len (fault injection never corrupts headers, so the
+    # size is trusted the same way the old per-segment lengths were).
+    # Segment assemblers write into non-overlapping windows of this
+    # buffer; ``assemble`` is then a view, not a join.
+    _buf: bytearray = field(init=False, repr=False, compare=False)
+    _mv: memoryview = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self._buf = bytearray(self.wire_len)
+        self._mv = memoryview(self._buf)
 
     def segment_length(self, tso_offset: int) -> int:
         if tso_offset % self.segment_capacity != 0 or tso_offset >= self.wire_len:
@@ -136,7 +174,10 @@ class InboundMessage:
     def assembler(self, tso_offset: int) -> SegmentAssembler:
         asm = self.segments.get(tso_offset)
         if asm is None:
-            asm = SegmentAssembler(self.segment_length(tso_offset), self.mss)
+            seg_len = self.segment_length(tso_offset)
+            asm = SegmentAssembler(
+                seg_len, self.mss, view=self._mv[tso_offset : tso_offset + seg_len]
+            )
             self.segments[tso_offset] = asm
         return asm
 
@@ -144,15 +185,11 @@ class InboundMessage:
     def complete(self) -> bool:
         return self.received_bytes >= self.wire_len
 
-    def assemble(self) -> bytes:
-        """Concatenate completed segments into the full wire message."""
+    def assemble(self) -> memoryview:
+        """The full contiguous wire message (zero-copy view)."""
         if not self.complete:
             raise ProtocolError("assembling an incomplete message")
-        parts = []
-        for off in range(0, self.wire_len, self.segment_capacity):
-            seg = self.segments[off]
-            parts.append(seg.complete_data)
-        return b"".join(parts)
+        return self._mv
 
     def missing_ranges(self) -> list[tuple[int, int]]:
         """(wire_offset, length) ranges not yet covered by complete segments."""

@@ -50,6 +50,16 @@ class FabricPort:
             )
         self._egress.enqueue(packet)
 
+    def send_burst(self, side: str, packets: list[Packet]) -> None:
+        """Transmit a same-instant burst from this host via one callback."""
+        mtu = self.mtu
+        for packet in packets:
+            if packet.size > mtu:
+                raise SimulationError(
+                    f"packet of {packet.size} B exceeds MTU {mtu}; TSO missing?"
+                )
+        self._egress.enqueue_burst(packets)
+
     def set_loss_fn(self, side: str, loss_fn: Optional[LossFn]) -> None:
         self._egress.loss_fn = loss_fn
 

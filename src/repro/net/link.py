@@ -40,6 +40,10 @@ class _Direction:
         self.bandwidth = bandwidth_bps
         self.delay = delay
         self.queues: list[deque[Packet]] = [deque() for _ in range(NUM_PRIORITIES)]
+        # Bitmask of non-empty priority queues: the serialiser finds the
+        # highest-priority backlog with one bit_length() instead of an
+        # 8-way scan per dequeue.
+        self._prio_mask = 0
         self.busy = False
         self.receiver: Optional[Receiver] = None
         self.loss_fn: Optional[LossFn] = None
@@ -56,8 +60,28 @@ class _Direction:
         if not 0 <= prio < NUM_PRIORITIES:
             raise SimulationError(f"priority {prio} out of range")
         self.queues[prio].append(packet)
+        self._prio_mask |= 1 << prio
         if not self.busy:
             self._start_next()
+
+    def enqueue_burst(self, packets: list[Packet]) -> None:
+        """Ingest a same-instant departure burst through one callback.
+
+        Semantically identical to enqueueing each packet in turn (the
+        serialiser is started as soon as the first packet lands, so a
+        lower-priority head of an idle link still transmits first); the
+        saving is upstream -- the NIC delivers the whole burst with a
+        single event instead of one per packet.
+        """
+        queues = self.queues
+        for packet in packets:
+            prio = packet.transport.priority
+            if not 0 <= prio < NUM_PRIORITIES:
+                raise SimulationError(f"priority {prio} out of range")
+            queues[prio].append(packet)
+            self._prio_mask |= 1 << prio
+            if not self.busy:
+                self._start_next()
 
     def _start_next(self) -> None:
         packet = self._dequeue()
@@ -69,10 +93,15 @@ class _Direction:
         self.loop.call_later(tx_time, self._finish, packet)
 
     def _dequeue(self) -> Optional[Packet]:
-        for prio in range(NUM_PRIORITIES - 1, -1, -1):
-            if self.queues[prio]:
-                return self.queues[prio].popleft()
-        return None
+        mask = self._prio_mask
+        if not mask:
+            return None
+        prio = mask.bit_length() - 1
+        queue = self.queues[prio]
+        packet = queue.popleft()
+        if not queue:
+            self._prio_mask = mask & ~(1 << prio)
+        return packet
 
     def _finish(self, packet: Packet) -> None:
         self.tx_packets += 1
@@ -139,6 +168,17 @@ class Link:
             )
         direction = self._a_to_b if side == "a" else self._b_to_a
         direction.enqueue(packet)
+
+    def send_burst(self, side: str, packets: list[Packet]) -> None:
+        """Transmit a same-instant burst from ``side`` via one callback."""
+        mtu = self.mtu
+        for packet in packets:
+            if packet.size > mtu:
+                raise SimulationError(
+                    f"packet of {packet.size} B exceeds MTU {mtu}; TSO missing?"
+                )
+        direction = self._a_to_b if side == "a" else self._b_to_a
+        direction.enqueue_burst(packets)
 
     def set_loss_fn(self, side: str, loss_fn: Optional[LossFn]) -> None:
         """Drop packets transmitted *from* ``side`` when loss_fn returns True."""

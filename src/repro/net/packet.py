@@ -29,16 +29,17 @@ class Packet:
     transport: TransportHeader
     payload: bytes = b""
     meta: dict = field(default_factory=dict, compare=False)
+    #: IP packet size in bytes (headers + payload); fixed at construction
+    #: (the payload buffer is never resized), so the hot path reads a
+    #: plain attribute instead of re-deriving it per queue/serialise step.
+    size: int = field(init=False, repr=False, compare=False)
+    #: Bytes occupying the link, including Ethernet overheads.
+    wire_size: int = field(init=False, repr=False, compare=False)
 
-    @property
-    def size(self) -> int:
-        """IP packet size in bytes (headers + payload)."""
-        return HEADERS_SIZE + len(self.payload)
-
-    @property
-    def wire_size(self) -> int:
-        """Bytes occupying the link, including Ethernet overheads."""
-        return self.size + ETHERNET_OVERHEAD
+    def __post_init__(self) -> None:
+        size = HEADERS_SIZE + len(self.payload)
+        object.__setattr__(self, "size", size)
+        object.__setattr__(self, "wire_size", size + ETHERNET_OVERHEAD)
 
     @property
     def flow(self) -> FlowTuple:

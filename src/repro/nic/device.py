@@ -130,11 +130,27 @@ class Nic:
         self.segments_sent += 1
         packets = self._segment_to_packets(segment)
         self.packets_sent += len(packets)
-        for pkt in packets:
-            self.loop.call_later(latency, self._wire_tx, pkt)
+        # All packets of the segment exit the pipeline at the same instant
+        # with consecutive event sequence numbers, so nothing can order
+        # between them: one burst event replaces one event per packet and
+        # the link ingests the burst through a single callback.
+        if len(packets) == 1:
+            self.loop.call_later(latency, self._wire_tx, packets[0])
+        else:
+            self.loop.call_later(latency, self._wire_tx_burst, packets)
 
     def _wire_tx(self, packet: Packet) -> None:
         self.link.send(self.side, packet)
+
+    def _wire_tx_burst(self, packets: list[Packet]) -> None:
+        link = self.link
+        send_burst = getattr(link, "send_burst", None)
+        if send_burst is not None:
+            send_burst(self.side, packets)
+        else:
+            side = self.side
+            for packet in packets:
+                link.send(side, packet)
 
     def _segment_to_packets(self, segment: TsoSegment) -> list[Packet]:
         flow_key = (

@@ -151,7 +151,9 @@ class FlowContextTable:
         if self.obs is not None:
             self.obs.metrics.counter(f"{self.obs_name}.resyncs_applied").add()
 
-    def encrypt_segment(self, payload: bytes, descriptor: TlsOffloadDescriptor) -> bytes:
+    def encrypt_segment(
+        self, payload: bytes, descriptor: TlsOffloadDescriptor
+    ) -> bytearray:
         """Encrypt every described record in ``payload`` in place.
 
         The engine uses its *expected* sequence number, not the one the
@@ -173,6 +175,11 @@ class FlowContextTable:
             )
         out_of_sync = 0
         out = bytearray(payload)
+        # Zero-copy within the engine: records are read through one
+        # memoryview of the working buffer (the AEAD materialises at its
+        # own boundary); every splice below is same-length, so the view
+        # never blocks a resize.
+        mv = memoryview(out)
         for rec in descriptor.records:
             if ctx.expected_seqno is None:
                 # First record ever seen on this context defines the start.
@@ -186,7 +193,7 @@ class FlowContextTable:
             body_end = header_end + rec.plaintext_len + 1 + TAG_SIZE
             if body_end > len(payload):
                 raise ProtocolError("record descriptor exceeds segment payload")
-            plaintext = bytes(out[header_end : header_end + rec.plaintext_len])
+            plaintext = mv[header_end : header_end + rec.plaintext_len]
             sealed = ctx.protection.seal(
                 plaintext, rec.content_type, seqno=use_seqno
             )
@@ -203,4 +210,8 @@ class FlowContextTable:
                     out_of_sync
                 )
             obs.tracer.end(span, out_of_sync=out_of_sync)
-        return bytes(out)
+        mv.release()
+        # The working buffer is returned as-is (no final 64 KB copy): it is
+        # freshly allocated per segment and downstream consumers only slice
+        # it through memoryviews.
+        return out

@@ -112,6 +112,53 @@ class RecordProtection:
         ciphertext = self._aead.seal(self.nonce_for(seqno), inner, aad=header)
         return header + ciphertext
 
+    def seal_batch(self, items: list) -> list[bytes]:
+        """Seal ``(payload, content_type, seqno)`` records in one pass.
+
+        Byte-identical to calling :meth:`seal` per record with explicit
+        seqnos and no padding.  When the AEAD exposes ``seal_many`` (the
+        simulation :class:`~repro.crypto.aead.FastAead`), keystream tiles
+        for every record of the message are generated and applied in a
+        single pass; other AEADs (AES-GCM) fall back to per-record seals.
+        """
+        headers: list[bytes] = []
+        batch: list[tuple] = []
+        nonce_for = self.nonce_for
+        for payload, content_type, seqno in items:
+            if len(payload) > MAX_RECORD_PAYLOAD:
+                raise ProtocolError(
+                    f"record payload {len(payload)} exceeds {MAX_RECORD_PAYLOAD}"
+                )
+            inner = b"".join((payload, bytes((content_type,))))
+            header = encode_record_header(len(inner) + TAG_SIZE)
+            headers.append(header)
+            batch.append((nonce_for(seqno), inner, header))
+        seal_many = getattr(self._aead, "seal_many", None)
+        if seal_many is not None:
+            sealed = seal_many(batch)
+        else:
+            seal = self._aead.seal
+            sealed = [seal(nonce, inner, aad=aad) for nonce, inner, aad in batch]
+        return [header + ct for header, ct in zip(headers, sealed)]
+
+    def open_parsed(self, header, body, seqno: int) -> TLSRecord:
+        """Open one record whose header the caller already parsed.
+
+        The zero-copy decode path walks record boundaries to slice the
+        reassembled message, so it has parsed every header once; this
+        entry point skips :meth:`open`'s re-parse.  ``header`` and
+        ``body`` may be memoryview slices; the caller has verified the
+        outer content type and that ``len(body)`` matches the header's
+        length field.
+        """
+        inner = self._aead.open(self.nonce_for(seqno), body, aad=header)
+        end = len(inner)
+        while end > 0 and inner[end - 1] == 0:
+            end -= 1
+        if end == 0:
+            raise ProtocolError("record with no content type")
+        return TLSRecord(content_type=inner[end - 1], payload=inner[: end - 1], seqno=seqno)
+
     def open(self, record, seqno: Optional[int] = None) -> TLSRecord:
         """Decrypt one full record; raises AuthenticationError on tampering.
 

@@ -1,0 +1,237 @@
+"""Property suite for the hierarchical timer wheel in the event loop.
+
+The wheel replaced a single ``heapq`` as the pending-entry store, with the
+contract that dispatch order is *identical*: entries fire in exact
+``(when, seq)`` order regardless of which slot, level, or overflow
+structure parks them in between.  These tests pin that contract against a
+minimal heap reference model -- the scheduler the wheel replaced -- across
+randomized workloads that mix nested scheduling, cancellation, periodic
+timers, ``call_soon`` merging, and delays spanning every wheel level.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+
+from repro.sim.event_loop import EventLoop
+
+SEEDS = range(40)
+
+# Delay palette spanning the wheel's regimes: same-slot, next-slot, every
+# level of the hierarchy, and past the overflow horizon.
+DELAYS = [0.0, 1e-7, 2.37e-7, 1e-6, 5e-5, 1e-3, 0.017, 0.5, 3.0, 700.0, 2e6]
+
+
+class RefHeapLoop:
+    """The old all-heap scheduler: exact (when, seq) order, tombstone cancel.
+
+    ``call_soon`` is modelled as ``call_at(now)`` -- in a pure heap the
+    two are indistinguishable, which is precisely the ordering contract
+    the real loop's ready-deque fast path must preserve.
+    """
+
+    def __init__(self):
+        self.now = 0.0
+        self._q = []
+        self._seq = 0
+
+    def _push(self, when, fn, arg):
+        self._seq += 1
+        entry = [when, self._seq, fn, arg]
+        heapq.heappush(self._q, entry)
+        return entry
+
+    def call_at(self, when, fn, arg=None):
+        self._push(when, fn, arg)
+
+    def call_later(self, delay, fn, arg=None):
+        self._push(self.now + delay, fn, arg)
+
+    def call_soon(self, fn, arg=None):
+        self._push(self.now, fn, arg)
+
+    def timer_later(self, delay, fn, arg=None):
+        return self._push(self.now + delay, fn, arg)
+
+    def every(self, interval, fn):
+        state = {"cancelled": False}
+
+        def fire(_arg):
+            if state["cancelled"]:
+                return
+            fn()
+            if not state["cancelled"]:
+                self._push(self.now + interval, fire, None)
+
+        self._push(self.now + interval, fire, None)
+        return state
+
+    @staticmethod
+    def cancel(entry_or_state):
+        if isinstance(entry_or_state, dict):
+            entry_or_state["cancelled"] = True
+        elif entry_or_state[2] is not None:
+            entry_or_state[2] = None
+
+    def run(self, until=None):
+        while self._q:
+            entry = self._q[0]
+            if entry[2] is None:
+                heapq.heappop(self._q)
+                continue
+            if until is not None and entry[0] > until:
+                break
+            heapq.heappop(self._q)
+            fn = entry[2]
+            entry[2] = None
+            self.now = entry[0]
+            fn(entry[3])
+        if until is not None and until > self.now:
+            self.now = until
+        return self.now
+
+
+class WheelAdapter:
+    """Uniform facade over the real loop so scenarios run on either."""
+
+    def __init__(self):
+        self._loop = EventLoop()
+        self.call_at = self._loop.call_at
+        self.call_later = self._loop.call_later
+        self.call_soon = self._loop.call_soon
+        self.timer_later = self._loop.timer_later
+        self.every = lambda interval, fn: self._loop.every(interval, fn)
+        self.run = self._loop.run
+
+    @property
+    def now(self):
+        return self._loop.now
+
+    @staticmethod
+    def cancel(handle):
+        handle.cancel()
+
+
+def _scenario(seed, loop):
+    """Deterministic random workload; returns the observed firing order."""
+    rng = random.Random(seed)
+    order = []
+    live = {}
+    counter = [0]
+
+    def fire(tag):
+        order.append((round(loop.now, 12), tag))
+        for _ in range(rng.randrange(3)):
+            counter[0] += 1
+            tag2 = counter[0]
+            delay = rng.choice(DELAYS)
+            roll = rng.random()
+            if roll < 0.5:
+                live[tag2] = loop.timer_later(delay, fire, tag2)
+            elif roll < 0.8:
+                loop.call_later(delay, fire, tag2)
+            else:
+                loop.call_soon(fire, tag2)
+        if rng.random() < 0.4 and live:
+            key = rng.choice(sorted(live))
+            loop.cancel(live.pop(key))
+
+    for _ in range(40):
+        counter[0] += 1
+        delay = rng.choice(DELAYS) * rng.random()
+        if rng.random() < 0.5:
+            live[counter[0]] = loop.timer_later(delay, fire, counter[0])
+        else:
+            loop.call_later(delay, fire, counter[0])
+    return order
+
+
+def test_firing_order_matches_heap_reference():
+    """40 randomized seeds: full dispatch order equals the heap model's."""
+    for seed in SEEDS:
+        wheel = WheelAdapter()
+        ref = RefHeapLoop()
+        w_order = _scenario(seed, wheel)
+        r_order = _scenario(seed, ref)
+        wheel.run()
+        ref.run()
+        assert w_order == r_order, f"seed {seed} diverged"
+        assert wheel.now == ref.now, f"seed {seed}: final clocks differ"
+
+
+def test_windowed_runs_match_heap_reference():
+    """run(until=...) windows advance both models identically."""
+    for seed in range(20):
+        wheel = WheelAdapter()
+        ref = RefHeapLoop()
+        w_order = _scenario(seed, wheel)
+        r_order = _scenario(seed, ref)
+        rng = random.Random(10_000 + seed)
+        horizon = 0.0
+        for _ in range(30):
+            horizon += rng.choice(DELAYS) * rng.random()
+            assert wheel.run(until=horizon) == ref.run(until=horizon)
+        wheel.run()
+        ref.run()
+        assert w_order == r_order, f"seed {seed} diverged under windowed runs"
+
+
+def test_periodic_timer_matches_heap_reference():
+    """PeriodicTimer fire times and cancellation parity vs the reference."""
+    for seed in range(30):
+        rng = random.Random(seed)
+        interval = rng.choice([1e-5, 3.3e-4, 0.01, 0.25])
+        cancel_after = rng.randrange(1, 12)
+        for loop in (WheelAdapter(), RefHeapLoop()):
+            fired = []
+
+            def tick(fired=fired, loop=loop):
+                fired.append(round(loop.now, 12))
+                if len(fired) == cancel_after:
+                    loop.cancel(handle)
+
+            handle = loop.every(interval, tick)
+            loop.run(until=10.0)
+            expected = [round(interval * (i + 1), 12) for i in range(cancel_after)]
+            assert fired == expected, f"seed {seed}: periodic fired at {fired}"
+
+
+def test_cancellation_is_idempotent_and_accounted():
+    loop = EventLoop()
+    fired = []
+    timers = [loop.timer_later(d, fired.append, d) for d in DELAYS]
+    assert loop.pending_events() == len(DELAYS)
+    victim = timers[3]
+    assert victim.cancel() is True
+    assert victim.cancel() is False  # second cancel is a no-op
+    assert not victim.active
+    assert loop.pending_events() == len(DELAYS) - 1
+    loop.run()
+    assert sorted(fired) == sorted(d for i, d in enumerate(DELAYS) if i != 3)
+    assert loop.pending_events() == 0
+
+
+def test_mass_cancellation_compacts_without_reordering():
+    """Cancelling most of a large population (triggering compaction) must
+    not disturb the survivors' firing order."""
+    for seed in range(10):
+        rng = random.Random(seed)
+        loop = EventLoop()
+        fired = []
+        timers = []
+        for i in range(500):
+            delay = rng.choice(DELAYS) * (1.0 + rng.random())
+            timers.append((loop.timer_later(delay, fired.append, i), delay, i))
+        rng.shuffle(timers)
+        keep = timers[:50]
+        for timer, _, _ in timers[50:]:
+            timer.cancel()
+        assert loop.pending_events() == 50
+        loop.run()
+        expected = [i for _, _, i in sorted(
+            keep, key=lambda t: (t[0].when, t[2])
+        )]
+        # Survivors with equal `when` keep insertion order, which the sort
+        # key above reproduces because lower index implies lower seq.
+        assert fired == expected, f"seed {seed}: survivor order changed"
