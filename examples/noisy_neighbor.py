@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Noisy neighbor: two tenants share a fabric, isolation off vs on.
+
+A victim tenant offers a light open-loop load (10% of each host's
+uplink) while an aggressor offers 90% over the *same* hosts, NICs and
+spines.  The run repeats from identical seeds — per-tenant arrival
+streams replay exactly — differing only in the host-side isolation
+primitives of ``repro.tenancy``:
+
+- **off**: service slots are one shared FIFO pool per host and egress is
+  unshaped, so the aggressor's backlog head-of-line blocks the victim;
+- **on**: the same slots partitioned into weighted bulkhead
+  compartments, plus a per-(host, tenant) token bucket shaping the
+  aggressor to a 40% entitlement.  Excess aggressor load queues in the
+  aggressor's own shaper instead of the shared fabric.
+
+Tenants never share cryptographic material: every (tenant, host pair)
+direction gets its own AEAD context derived from per-tenant key-pool
+shares, and sessions live in per-tenant compartments of the session
+table — the position-dependent integrity fill in every RPC verifies
+that records never cross tenants.
+
+Run:  python examples/noisy_neighbor.py
+"""
+
+from repro.homa import HomaConfig
+from repro.load import HOMA_W4, TenantLoadEngine, TenantWorkload
+from repro.tenancy import IsolationConfig, Tenant, TenantFabric
+from repro.testbed import ClosTestbed
+from repro.units import KB, USEC
+
+VICTIM_LOAD = 0.10
+AGGRESSOR_LOAD = 0.90
+DURATION = 0.15e-3  # seconds of virtual-time arrivals
+
+# Backed-off resends stretch retries over seconds without storms; the
+# sender's quiet window must exceed the max RESEND gap (20 ms) so a
+# grant-starved message is never freed alive between two RESENDs.
+CONFIG = HomaConfig(
+    unscheduled_bytes=16 * KB,
+    grant_window=16 * KB,
+    resend_interval=200 * USEC,
+    resend_backoff=2.0,
+    sender_timeout=50_000 * USEC,
+)
+
+
+def run_mode(enabled: bool):
+    bed = ClosTestbed.leaf_spine(
+        num_racks=2, hosts_per_rack=2, num_spines=2, num_app_cores=4, seed=1
+    )
+    fabric = TenantFabric(
+        bed,
+        [
+            Tenant("victim", 0),
+            Tenant("aggr", 1, rate_fraction=0.40),
+        ],
+        isolation=IsolationConfig(enabled=enabled),
+        config=CONFIG,
+        seed=3,
+    )
+    engine = TenantLoadEngine(
+        fabric,
+        [
+            TenantWorkload(fabric.registry.by_name("victim"), HOMA_W4,
+                           VICTIM_LOAD),
+            TenantWorkload(fabric.registry.by_name("aggr"), HOMA_W4,
+                           AGGRESSOR_LOAD),
+        ],
+        duration=DURATION,
+        seed=11,
+    )
+    return fabric, engine.run()
+
+
+def main() -> None:
+    print(f"victim at {VICTIM_LOAD:.0%} load vs aggressor at "
+          f"{AGGRESSOR_LOAD:.0%}, one shared 2x2-host leaf-spine fabric\n")
+    p99 = {}
+    for enabled in (False, True):
+        label = "isolation ON " if enabled else "isolation OFF"
+        fabric, results = run_mode(enabled)
+        for name in ("victim", "aggr"):
+            r = results[name]
+            assert r.completed == r.issued
+            assert r.integrity_errors == 0
+            throttled = fabric.throttle_stats(name)["throttled"]
+            print(f"{label} {name:>7}: {r.completed}/{r.issued} RPCs, "
+                  f"slowdown p50 {r.p50:5.1f}  p99 {r.p99:6.1f}, "
+                  f"throttled {throttled}")
+        p99[enabled] = results["victim"].p99
+        print()
+    assert p99[True] < p99[False]
+    print(f"victim p99 slowdown {p99[False]:.1f} -> {p99[True]:.1f} "
+          f"({p99[False] / p99[True]:.2f}x better with isolation on)")
+    print("The aggressor's excess queues in its own shaper; the victim's")
+    print("tail shortens while every RPC still completes and every")
+    print("per-tenant AEAD integrity check passes.")
+    print("OK: noisy neighbor contained by bulkheads + egress shaping.")
+
+
+if __name__ == "__main__":
+    main()

@@ -29,6 +29,7 @@ EXPECTED_EVENTS = {
     "perf": 51321,
     "loaded": 169902,
     "incident": 582358,
+    "tenant": 269289,
 }
 
 

@@ -1,0 +1,64 @@
+"""A distributed cache over SMT RPC: read-through, write-behind.
+
+The third application workload (after the Redis-style KV store and
+NVMe-oF): a sharded cache tier in front of a slow authoritative origin,
+the shape most real multi-tenant clusters put their hottest traffic
+through.  Every hop — client to cache shard, shard to origin — is an SMT
+RPC over the message socket, so the paper's per-message encryption is
+the transport for both the latency-critical front path and the
+batched background path.
+
+Semantics (distributed-cache pattern):
+
+- **read-through**: a GET that misses the shard fetches the value from
+  the origin *inside* the request, populates the shard and returns it;
+  the client never talks to the origin.
+- **write-behind**: a PUT is acknowledged as soon as the shard has the
+  value; dirty keys flush to the origin asynchronously in coalesced
+  batches (N overwrites of one key flush once), trading origin write
+  amplification against a bounded dirty window.
+- **LRU with dirty protection**: a full shard evicts clean entries
+  first; a dirty candidate is flushed by the eviction itself so no
+  acknowledged write is ever lost.
+
+Sharding is by deterministic key hash across cache nodes
+(:func:`shard_of`), and every structure is driven by virtual time and
+explicit seeds, so runs replay exactly.
+"""
+
+from repro.apps.dcache.cache import CacheStore
+from repro.apps.dcache.cluster import DCacheClient, DCacheCluster, shard_of
+from repro.apps.dcache.node import DCacheNode, OriginServer
+from repro.apps.dcache.protocol import (
+    OP_DELETE,
+    OP_GET,
+    OP_PUT,
+    STATUS_FILLED,
+    STATUS_HIT,
+    STATUS_NOT_FOUND,
+    STATUS_OK,
+    decode_reply,
+    decode_request,
+    encode_reply,
+    encode_request,
+)
+
+__all__ = [
+    "CacheStore",
+    "DCacheClient",
+    "DCacheCluster",
+    "DCacheNode",
+    "OriginServer",
+    "OP_DELETE",
+    "OP_GET",
+    "OP_PUT",
+    "STATUS_FILLED",
+    "STATUS_HIT",
+    "STATUS_NOT_FOUND",
+    "STATUS_OK",
+    "decode_reply",
+    "decode_request",
+    "encode_reply",
+    "encode_request",
+    "shard_of",
+]

@@ -1,0 +1,94 @@
+"""The shard-local store: bounded LRU with dirty (write-behind) tracking.
+
+Insertion and access order drive eviction deterministically.  A dirty
+entry is one the origin has not seen yet; the store never silently drops
+one — eviction surfaces the (key, value) to the caller, whose job is to
+flush it inline (:meth:`put` returns the casualty list).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.errors import ProtocolError
+
+
+class CacheStore:
+    """LRU keyspace of bounded entry count with dirty bookkeeping."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ProtocolError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._data: "OrderedDict[bytes, bytes]" = OrderedDict()
+        self._dirty: set[bytes] = set()
+        self.hits = 0
+        self.misses = 0
+        self.evicted_clean = 0
+        self.evicted_dirty = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._data
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        value = self._data.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def peek(self, key: bytes) -> Optional[bytes]:
+        """Read without touching LRU order or hit counters (flusher)."""
+        return self._data.get(key)
+
+    def put(self, key: bytes, value: bytes, dirty: bool) -> list[tuple[bytes, bytes]]:
+        """Insert/overwrite; returns evicted *dirty* (key, value) pairs.
+
+        Clean candidates evict first (they cost nothing to lose); a dirty
+        entry is only evicted when every remaining entry is dirty, and it
+        is returned so the caller can flush it before acknowledging.
+        """
+        casualties: list[tuple[bytes, bytes]] = []
+        if key not in self._data and len(self._data) >= self.capacity:
+            victim = self._pick_victim()
+            victim_value = self._data.pop(victim)
+            if victim in self._dirty:
+                self._dirty.discard(victim)
+                self.evicted_dirty += 1
+                casualties.append((victim, victim_value))
+            else:
+                self.evicted_clean += 1
+        self._data[key] = value
+        self._data.move_to_end(key)
+        if dirty:
+            self._dirty.add(key)
+        else:
+            self._dirty.discard(key)
+        return casualties
+
+    def _pick_victim(self) -> bytes:
+        for key in self._data:  # LRU first
+            if key not in self._dirty:
+                return key
+        return next(iter(self._data))  # all dirty: oldest pays the flush
+
+    def delete(self, key: bytes) -> bool:
+        self._dirty.discard(key)
+        return self._data.pop(key, None) is not None
+
+    def mark_clean(self, key: bytes) -> None:
+        self._dirty.discard(key)
+
+    def dirty_keys(self) -> list[bytes]:
+        """Dirty keys in insertion order (flush batches preserve it)."""
+        return [key for key in self._data if key in self._dirty]
+
+    @property
+    def dirty_count(self) -> int:
+        return len(self._dirty)

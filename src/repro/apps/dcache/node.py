@@ -1,0 +1,255 @@
+"""The cache shard and the authoritative origin, both on SMT sockets.
+
+A :class:`DCacheNode` is single-threaded in the ``MessageKvServer``
+style: one reader loop pulls client requests off the message socket, and
+the same socket carries the shard's own RPCs to the origin (read-through
+fills, write-behind batches) — Homa-style sockets multiplex outbound
+calls and inbound serving on one port.
+
+Write-behind runs as a background flusher process in virtual time: dirty
+keys accumulate and coalesce (re-writing one key before the flush costs
+one origin write, not two), and every ``flush_interval`` the flusher
+ships one ``OP_WRITE_BATCH`` RPC with every dirty pair.  Eviction of a
+dirty entry flushes it inline before the eviction's own request is
+acknowledged, so no acknowledged write ever dies with the shard's LRU.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.apps.dcache.cache import CacheStore
+from repro.apps.dcache.protocol import (
+    OP_DELETE,
+    OP_GET,
+    OP_PUT,
+    OP_READ,
+    OP_WRITE_BATCH,
+    STATUS_FILLED,
+    STATUS_HIT,
+    STATUS_NOT_FOUND,
+    STATUS_OK,
+    decode_batch,
+    decode_reply,
+    decode_request,
+    encode_batch,
+    encode_reply,
+    encode_request,
+)
+from repro.errors import ProtocolError
+from repro.homa.socket import HomaSocket
+from repro.host.cpu import AppThread
+
+
+class OriginServer:
+    """The slow authoritative store the cache tier protects."""
+
+    def __init__(self, socket: HomaSocket, write_penalty: float = 0.0):
+        self.socket = socket
+        self.costs = socket.transport.host.costs
+        #: Extra virtual-time cost per authoritative write (models the
+        #: origin's durability path; tune to make write-behind visible).
+        self.write_penalty = write_penalty
+        self._data: dict[bytes, bytes] = {}
+        self.reads = 0
+        self.writes = 0
+        self.batches = 0
+
+    def preload(self, items: dict[bytes, bytes]) -> None:
+        self._data.update(items)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: bytes) -> bytes | None:
+        """Direct inspection for tests; no cost accounting."""
+        return self._data.get(key)
+
+    def run(self, thread: AppThread) -> Generator[Any, Any, None]:
+        while True:
+            rpc = yield from self.socket.recv_request(thread)
+            op, key, value = decode_request(rpc.payload)
+            cost = self.costs.kv_parse + self.costs.kv_response
+            if op == OP_READ:
+                self.reads += 1
+                cost += self.costs.kv_get
+                stored = self._data.get(key)
+                if stored is None:
+                    reply = encode_reply(STATUS_NOT_FOUND)
+                else:
+                    cost += self.costs.copy_cost(len(stored))
+                    reply = encode_reply(STATUS_OK, stored)
+            elif op == OP_WRITE_BATCH:
+                self.batches += 1
+                pairs = decode_batch(value)
+                for bkey, bvalue in pairs:
+                    self._data[bkey] = bvalue
+                    self.writes += 1
+                    cost += (
+                        self.costs.kv_set
+                        + self.costs.copy_cost(len(bvalue))
+                        + self.write_penalty
+                    )
+                reply = encode_reply(STATUS_OK)
+            elif op == OP_DELETE:
+                self.writes += 1
+                cost += self.costs.kv_set + self.write_penalty
+                self._data.pop(key, None)
+                reply = encode_reply(STATUS_OK)
+            else:
+                raise ProtocolError(f"origin got unexpected op {op}")
+            yield from thread.work(cost)
+            yield from self.socket.reply(thread, rpc, reply)
+
+
+class DCacheNode:
+    """One cache shard: serves clients, reads through, flushes behind."""
+
+    def __init__(
+        self,
+        socket: HomaSocket,
+        store: CacheStore,
+        origin_addr: int,
+        origin_port: int,
+        flush_interval: float = 200e-6,
+        flush_batch: int = 16,
+    ):
+        self.socket = socket
+        self.store = store
+        self.costs = socket.transport.host.costs
+        self.origin_addr = origin_addr
+        self.origin_port = origin_port
+        self.flush_interval = flush_interval
+        #: Flush early once this many keys are dirty (bounds the window).
+        self.flush_batch = flush_batch
+        self.requests_served = 0
+        self.read_throughs = 0
+        self.flushes = 0
+        self.flushed_writes = 0
+        self.eviction_flushes = 0
+        self._loop = socket.transport.host.loop
+        self._flush_wake = None
+
+    # -- origin RPCs ---------------------------------------------------------------
+
+    def _origin_call(self, thread: AppThread, op: int, key: bytes,
+                     value: bytes = b"") -> Generator[Any, Any, tuple[int, bytes]]:
+        payload = encode_request(op, key, value)
+        raw = yield from self.socket.call(
+            thread, self.origin_addr, self.origin_port, payload
+        )
+        return decode_reply(raw)
+
+    def _flush_pairs(self, thread: AppThread,
+                     pairs: list[tuple[bytes, bytes]]) -> Generator[Any, Any, None]:
+        status, _ = yield from self._origin_call(
+            thread, OP_WRITE_BATCH, b"", encode_batch(pairs)
+        )
+        if status != STATUS_OK:
+            raise ProtocolError(f"origin refused write batch ({status})")
+        self.flushes += 1
+        self.flushed_writes += len(pairs)
+
+    # -- client-facing server loop ---------------------------------------------------
+
+    def run(self, thread: AppThread) -> Generator[Any, Any, None]:
+        while True:
+            rpc = yield from self.socket.recv_request(thread)
+            op, key, value = decode_request(rpc.payload)
+            cost = self.costs.kv_parse + self.costs.kv_response
+            if op == OP_GET:
+                cost += self.costs.kv_get
+                stored = self.store.get(key)
+                if stored is not None:
+                    cost += self.costs.copy_cost(len(stored))
+                    yield from thread.work(cost)
+                    reply = encode_reply(STATUS_HIT, stored)
+                else:
+                    # Read-through: fetch from the origin inside the
+                    # request, populate the shard, answer the client.
+                    yield from thread.work(cost)
+                    status, fetched = yield from self._origin_call(
+                        thread, OP_READ, key
+                    )
+                    if status == STATUS_NOT_FOUND:
+                        reply = encode_reply(STATUS_NOT_FOUND)
+                    else:
+                        self.read_throughs += 1
+                        yield from self._absorb(
+                            thread, key, fetched, dirty=False
+                        )
+                        yield from thread.work(self.costs.copy_cost(len(fetched)))
+                        reply = encode_reply(STATUS_FILLED, fetched)
+            elif op == OP_PUT:
+                # Write-behind: ack once the shard holds the value.
+                cost += self.costs.kv_set + self.costs.copy_cost(len(value))
+                yield from thread.work(cost)
+                yield from self._absorb(thread, key, value, dirty=True)
+                if self.store.dirty_count >= self.flush_batch:
+                    self._kick_flusher()
+                reply = encode_reply(STATUS_OK)
+            elif op == OP_DELETE:
+                cost += self.costs.kv_set
+                yield from thread.work(cost)
+                was_dirty = key in self.store._dirty
+                found = self.store.delete(key)
+                if not was_dirty:
+                    # The origin may still hold it; propagate synchronously.
+                    yield from self._origin_call(thread, OP_DELETE, key)
+                reply = encode_reply(STATUS_OK if found else STATUS_NOT_FOUND)
+            else:
+                raise ProtocolError(f"cache shard got unexpected op {op}")
+            yield from self.socket.reply(thread, rpc, reply)
+            self.requests_served += 1
+
+    def _absorb(self, thread: AppThread, key: bytes, value: bytes,
+                dirty: bool) -> Generator[Any, Any, None]:
+        """Insert into the LRU; flush any evicted-dirty casualty inline."""
+        casualties = self.store.put(key, value, dirty=dirty)
+        if casualties:
+            self.eviction_flushes += len(casualties)
+            yield from self._flush_pairs(thread, casualties)
+
+    # -- the background flusher -------------------------------------------------------
+
+    def _kick_flusher(self) -> None:
+        if self._flush_wake is not None and not self._flush_wake.triggered:
+            self._flush_wake.succeed(None)
+
+    def flusher(self, thread: AppThread) -> Generator[Any, Any, None]:
+        """Periodic write-behind: one batch RPC per interval with dirty keys."""
+        loop = self._loop
+        while True:
+            wake = loop.event()
+            self._flush_wake = wake
+            timer = loop.timer_later(self.flush_interval, self._kick_flusher)
+            yield wake
+            timer.cancel()
+            self._flush_wake = None
+            dirty = self.store.dirty_keys()
+            if not dirty:
+                continue
+            pairs = []
+            for key in dirty:
+                value = self.store.peek(key)
+                if value is None:
+                    continue
+                pairs.append((key, value))
+                # Clean eagerly: a PUT racing in during the flush RPC
+                # re-dirties the key and rides the next batch.
+                self.store.mark_clean(key)
+            if pairs:
+                yield from self._flush_pairs(thread, pairs)
+
+    def flush_now(self, thread: AppThread) -> Generator[Any, Any, int]:
+        """Synchronous drain (tests and shutdown): flush all dirty keys."""
+        dirty = self.store.dirty_keys()
+        pairs = []
+        for key in dirty:
+            value = self.store.peek(key)
+            if value is not None:
+                pairs.append((key, value))
+                self.store.mark_clean(key)
+        if pairs:
+            yield from self._flush_pairs(thread, pairs)
+        return len(pairs)

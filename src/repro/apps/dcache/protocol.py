@@ -1,0 +1,94 @@
+"""Binary cache protocol, shared by the client->shard and shard->origin hops.
+
+Request: op (1) || key length (2) || key || value length (4) || value.
+Reply:   status (1) || value length (4) || value.
+
+The origin speaks the same frame with ``OP_WRITE_BATCH``: the "value" is
+a concatenation of length-prefixed (key, value) pairs — one RPC flushes
+a whole write-behind batch.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import ProtocolError
+
+OP_GET = 1
+OP_PUT = 2
+OP_DELETE = 3
+#: Origin-side ops (shard -> origin).
+OP_READ = 16
+OP_WRITE_BATCH = 17
+
+STATUS_OK = 0
+STATUS_HIT = 1        # GET served from the shard
+STATUS_FILLED = 2     # GET read through to the origin
+STATUS_NOT_FOUND = 3  # neither shard nor origin has the key
+
+_REQ_HEAD = struct.Struct("!BH")
+_VAL_HEAD = struct.Struct("!I")
+_REPLY_HEAD = struct.Struct("!BI")
+_PAIR_HEAD = struct.Struct("!HI")
+
+
+def encode_request(op: int, key: bytes, value: bytes = b"") -> bytes:
+    return _REQ_HEAD.pack(op, len(key)) + key + _VAL_HEAD.pack(len(value)) + value
+
+
+def decode_request(data: bytes) -> tuple[int, bytes, bytes]:
+    """(op, key, value); value is empty for GET/DELETE/READ."""
+    if len(data) < _REQ_HEAD.size:
+        raise ProtocolError("short dcache request")
+    op, key_len = _REQ_HEAD.unpack_from(data)
+    off = _REQ_HEAD.size
+    key = data[off : off + key_len]
+    off += key_len
+    (value_len,) = _VAL_HEAD.unpack_from(data, off)
+    off += _VAL_HEAD.size
+    value = data[off : off + value_len]
+    if len(key) != key_len or len(value) != value_len:
+        raise ProtocolError("truncated dcache request")
+    return op, key, value
+
+
+def encode_reply(status: int, value: bytes = b"") -> bytes:
+    return _REPLY_HEAD.pack(status, len(value)) + value
+
+
+def decode_reply(data: bytes) -> tuple[int, bytes]:
+    if len(data) < _REPLY_HEAD.size:
+        raise ProtocolError("short dcache reply")
+    status, value_len = _REPLY_HEAD.unpack_from(data)
+    value = data[_REPLY_HEAD.size : _REPLY_HEAD.size + value_len]
+    if len(value) != value_len:
+        raise ProtocolError("truncated dcache reply")
+    return status, value
+
+
+def encode_batch(pairs: list[tuple[bytes, bytes]]) -> bytes:
+    """The OP_WRITE_BATCH payload: length-prefixed (key, value) pairs."""
+    parts = []
+    for key, value in pairs:
+        parts.append(_PAIR_HEAD.pack(len(key), len(value)))
+        parts.append(key)
+        parts.append(value)
+    return b"".join(parts)
+
+
+def decode_batch(data: bytes) -> list[tuple[bytes, bytes]]:
+    pairs = []
+    off = 0
+    while off < len(data):
+        if off + _PAIR_HEAD.size > len(data):
+            raise ProtocolError("truncated write batch")
+        key_len, value_len = _PAIR_HEAD.unpack_from(data, off)
+        off += _PAIR_HEAD.size
+        key = data[off : off + key_len]
+        off += key_len
+        value = data[off : off + value_len]
+        off += value_len
+        if len(key) != key_len or len(value) != value_len:
+            raise ProtocolError("truncated write batch pair")
+        pairs.append((key, value))
+    return pairs

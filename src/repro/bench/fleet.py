@@ -38,6 +38,7 @@ from repro.bench import (
     perf,
     table1,
     table2,
+    tenant,
 )
 from repro.sim.event_loop import events_dispatched
 
@@ -62,10 +63,11 @@ EXPERIMENTS = {
     "loaded": loaded.run,
     "incident": incident.run,
     "frontend": frontend.run,
+    "tenant": tenant.run,
 }
 
 # Experiments whose run() accepts quick=True for a scaled-down CI pass.
-_QUICK_AWARE = {"perf", "churn", "loaded", "incident", "frontend"}
+_QUICK_AWARE = {"perf", "churn", "loaded", "incident", "frontend", "tenant"}
 
 
 @dataclass

@@ -8,6 +8,7 @@ connection-churn rates.
 """
 
 from repro.ctrl.keypool import KeyPool
+from repro.ctrl.partition import PartitionedKeyPool, PartitionedSessionTable
 from repro.ctrl.plane import ControlPlane, CtrlConfig
 from repro.ctrl.rekey import ManagedSession, RekeyManager
 from repro.ctrl.rotation import SharedShareRotator, TicketCache, TicketRotator
@@ -18,6 +19,8 @@ __all__ = [
     "CtrlConfig",
     "KeyPool",
     "ManagedSession",
+    "PartitionedKeyPool",
+    "PartitionedSessionTable",
     "RekeyManager",
     "SessionTable",
     "SharedShareRotator",

@@ -115,6 +115,7 @@ class HomaTransport:
             plans=encoded.plans,
             granted=min(encoded.wire_len, self.config.unscheduled_bytes),
             created_at=self.loop.now,
+            last_activity=self.loop.now,
         )
         key = (dest_addr, msg_id)
         encoded.codec = codec
@@ -253,11 +254,30 @@ class HomaTransport:
 
         def check() -> None:
             msg.sender_timer = None
-            if not msg.acked and key in self._outbound:
-                # Receiver never acked: free state (it will RESEND if alive).
-                del self._outbound[key]
-                self._encoded.pop(key, None)
-                self._end_tx_span(msg, "timeout")
+            if msg.acked or key not in self._outbound:
+                return
+            # An *inactivity* timeout, not a deadline since send: a large
+            # message can legitimately be grant-starved past the window
+            # under overload, and freeing live state turns a slow RPC into
+            # an unrecoverable one (the receiver's RESENDs and the RPC
+            # layer's retransmissions then find nothing).  Re-arm while
+            # grants show the receiver making forward progress; free after
+            # a full window without one (dead receiver or broken path --
+            # RESENDs deliberately do not count, or a peer re-requesting a
+            # blackholed message would pin state alive while every RESEND
+            # triggers a multi-packet retransmit burst).
+            # The 1 ns floor absorbs float rounding: ``now - last_activity``
+            # can land an epsilon short of the timeout, and re-arming for
+            # that epsilon would fire at the same virtual instant forever.
+            remaining = self.config.sender_timeout - (
+                self.loop.now - msg.last_activity
+            )
+            if remaining > 1e-9:
+                msg.sender_timer = self.loop.timer_later(remaining, check)
+                return
+            del self._outbound[key]
+            self._encoded.pop(key, None)
+            self._end_tx_span(msg, "timeout")
 
         msg.sender_timer = self.loop.timer_later(self.config.sender_timeout, check)
 
@@ -512,6 +532,7 @@ class HomaTransport:
         msg = self._outbound.get(key)
         if msg is None:
             return None
+        msg.last_activity = self.loop.now
         if t.grant_offset > msg.granted:
             msg.granted = min(t.grant_offset, msg.wire_len)
             encoded = self._encoded.get(key)

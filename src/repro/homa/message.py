@@ -217,6 +217,13 @@ class OutboundMessage:
     granted: int = 0
     acked: bool = False
     created_at: float = 0.0
+    #: Last moment the receiver showed forward progress (a grant
+    #: arrived).  The sender timeout frees state only after a full quiet
+    #: window, not a fixed time since send -- a grant-starved large
+    #: message under overload is alive, not dead.  Only grants count:
+    #: marking RESENDs too would let a peer behind a broken path keep
+    #: state alive while each RESEND triggers a retransmit burst.
+    last_activity: float = 0.0
     # Sender-timeout handle (repro.sim.Timer); cancelled when acked.
     sender_timer: Optional[object] = None
 

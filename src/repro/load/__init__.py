@@ -15,7 +15,10 @@ The package splits into three layers:
   optional resilience-kit wrapping;
 - :mod:`repro.load.frontend` — arrivals routed through a ``repro.lb``
   balancer over a replica subset, keyed by a skewed popularity
-  distribution.
+  distribution;
+- :mod:`repro.load.tenant` — per-tenant open-loop arrivals over a
+  shared :class:`repro.tenancy.TenantFabric`, aggregating slowdown per
+  tenant (the noisy-neighbor engine).
 """
 
 from repro.load.cluster import SERVER_PORT, SYSTEMS, ClusterHarness
@@ -31,9 +34,12 @@ from repro.load.distributions import (
 from repro.load.engine import LoadResult, OpenLoopEngine, wire_bytes
 from repro.load.frontend import FrontendEngine, SkewedKeys
 from repro.load.incident import IncidentEngine, IncidentMetrics
+from repro.load.tenant import TenantLoadEngine, TenantWorkload
 
 __all__ = [
     "FrontendEngine",
+    "TenantLoadEngine",
+    "TenantWorkload",
     "IncidentEngine",
     "IncidentMetrics",
     "SkewedKeys",

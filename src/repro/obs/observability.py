@@ -108,6 +108,13 @@ class Observability:
         """Adopt an injector's CounterSet under ``name`` (its own by default)."""
         self.metrics.attach(name or injector.name, injector.counters)
 
+    def observe_tenant_fabric(self, fabric) -> None:
+        """Export a :class:`repro.tenancy.TenantFabric`'s ``tenant.*``
+        gauges (served, throttled, bulkhead waits, session/key-pool
+        compartments) and route its ``tenant.throttle`` spans through this
+        tracer."""
+        fabric.bind_obs(self)
+
     # -- the one-call summary ------------------------------------------------
 
     def snapshot(self) -> dict:

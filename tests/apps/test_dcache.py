@@ -1,0 +1,230 @@
+"""dcache: LRU store semantics, wire protocol, end-to-end write-behind."""
+
+import pytest
+
+from repro.apps.dcache import (
+    CacheStore,
+    DCacheCluster,
+    OP_GET,
+    OP_PUT,
+    STATUS_FILLED,
+    STATUS_HIT,
+    STATUS_NOT_FOUND,
+    STATUS_OK,
+    decode_reply,
+    decode_request,
+    encode_reply,
+    encode_request,
+    shard_of,
+)
+from repro.bench.loaded import LOAD_HOMA_CONFIG
+from repro.errors import ProtocolError, ReproError
+from repro.testbed import ClosTestbed
+
+
+class TestCacheStore:
+    def test_capacity_validated(self):
+        with pytest.raises(ProtocolError):
+            CacheStore(0)
+
+    def test_get_hit_miss_counters(self):
+        store = CacheStore(4)
+        store.put(b"a", b"1", dirty=False)
+        assert store.get(b"a") == b"1"
+        assert store.get(b"b") is None
+        assert store.hits == 1
+        assert store.misses == 1
+
+    def test_lru_evicts_clean_before_dirty(self):
+        store = CacheStore(2)
+        store.put(b"dirty", b"d", dirty=True)
+        store.put(b"clean", b"c", dirty=False)
+        # The dirty key is older, but the clean one is sacrificed first.
+        casualties = store.put(b"new", b"n", dirty=False)
+        assert casualties == []
+        assert store.peek(b"clean") is None
+        assert store.peek(b"dirty") == b"d"
+        assert store.evicted_clean == 1
+
+    def test_dirty_eviction_returns_casualty_for_inline_flush(self):
+        store = CacheStore(2)
+        store.put(b"d1", b"1", dirty=True)
+        store.put(b"d2", b"2", dirty=True)
+        casualties = store.put(b"d3", b"3", dirty=True)
+        assert casualties == [(b"d1", b"1")]
+        assert store.evicted_dirty == 1
+        assert b"d1" not in store.dirty_keys()
+
+    def test_peek_does_not_touch_lru_order(self):
+        store = CacheStore(2)
+        store.put(b"a", b"1", dirty=False)
+        store.put(b"b", b"2", dirty=False)
+        store.peek(b"a")  # no promotion
+        store.put(b"c", b"3", dirty=False)
+        assert store.peek(b"a") is None  # still the LRU victim
+
+    def test_mark_clean_and_dirty_count(self):
+        store = CacheStore(4)
+        store.put(b"a", b"1", dirty=True)
+        store.put(b"b", b"2", dirty=True)
+        assert store.dirty_count == 2
+        store.mark_clean(b"a")
+        assert store.dirty_count == 1
+        assert store.dirty_keys() == [b"b"]
+
+    def test_delete_clears_dirtiness(self):
+        store = CacheStore(4)
+        store.put(b"a", b"1", dirty=True)
+        store.delete(b"a")
+        assert store.dirty_count == 0
+        assert store.peek(b"a") is None
+
+
+class TestProtocol:
+    def test_request_round_trip(self):
+        wire = encode_request(OP_PUT, b"key", b"value")
+        op, key, value = decode_request(wire)
+        assert (op, key, value) == (OP_PUT, b"key", b"value")
+
+    def test_reply_round_trip(self):
+        for status in (STATUS_OK, STATUS_HIT, STATUS_FILLED, STATUS_NOT_FOUND):
+            status2, value = decode_reply(encode_reply(status, b"v"))
+            assert (status2, value) == (status, b"v")
+
+    def test_empty_value_allowed(self):
+        op, key, value = decode_request(encode_request(OP_GET, b"k", b""))
+        assert value == b""
+
+    def test_shard_of_stable_and_in_range(self):
+        assert shard_of(b"somekey", 3) == shard_of(b"somekey", 3)
+        spread = {shard_of(b"k%d" % i, 3) for i in range(64)}
+        assert spread == {0, 1, 2}
+
+
+def _cluster(**kw):
+    bed = ClosTestbed.leaf_spine(
+        num_racks=2, hosts_per_rack=2, num_spines=2, num_app_cores=4, seed=1
+    )
+    kw.setdefault("config", LOAD_HOMA_CONFIG)
+    return bed, DCacheCluster(bed, **kw)
+
+
+def _drive(bed, body):
+    done = bed.loop.process(body())
+    bed.run(until=bed.loop.now + 1.0)
+    assert done.triggered and done.ok, getattr(done, "value", None)
+
+
+class TestClusterEndToEnd:
+    def test_read_through_then_hit(self):
+        bed, cluster = _cluster(cache_capacity=8)
+        cluster.origin.preload({b"k": b"v" * 32})
+        client = cluster.client(0)
+
+        def body():
+            thread = bed.hosts[0].app_thread(3)
+            first = yield from client.get(thread, b"k")
+            second = yield from client.get(thread, b"k")
+            assert first == second == b"v" * 32
+
+        _drive(bed, body)
+        assert client.fills == 1
+        assert client.hits == 1
+        assert cluster.origin.reads == 1
+
+    def test_write_behind_acks_before_origin_and_drains_durable(self):
+        bed, cluster = _cluster(cache_capacity=8, flush_batch=64,
+                                flush_interval=10.0)
+        client = cluster.client(0)
+
+        def body():
+            thread = bed.hosts[0].app_thread(3)
+            yield from client.put(thread, b"wb", b"payload")
+            # Acked while still write-behind: origin hasn't seen it.
+            assert cluster.origin.get(b"wb") is None
+
+        _drive(bed, body)
+        cluster.drain()
+        assert cluster.origin.get(b"wb") == b"payload"
+        assert sum(n.store.dirty_count for n in cluster.nodes) == 0
+
+    def test_overwrites_coalesce_into_one_origin_write(self):
+        bed, cluster = _cluster(cache_capacity=8, flush_batch=64,
+                                flush_interval=10.0)
+        client = cluster.client(0)
+
+        def body():
+            thread = bed.hosts[0].app_thread(3)
+            for i in range(5):
+                yield from client.put(thread, b"hot", b"v%d" % i)
+
+        _drive(bed, body)
+        cluster.drain()
+        assert cluster.origin.get(b"hot") == b"v4"
+        assert cluster.origin.writes == 1  # five puts, one flushed write
+
+    def test_dirty_eviction_flushes_inline_no_loss(self):
+        bed, cluster = _cluster(cache_capacity=2, flush_batch=64,
+                                flush_interval=10.0)
+        client = cluster.client(0)
+        written = {}
+
+        def body():
+            thread = bed.hosts[0].app_thread(3)
+            for i in range(12):
+                key, value = b"k%d" % i, b"v%d" % i * 8
+                yield from client.put(thread, key, value)
+                written[key] = value
+
+        _drive(bed, body)
+        cluster.drain()
+        for key, value in written.items():
+            assert cluster.origin.get(key) == value
+        assert sum(n.eviction_flushes for n in cluster.nodes) > 0
+
+    def test_get_missing_key_not_found(self):
+        bed, cluster = _cluster(cache_capacity=4)
+        client = cluster.client(0)
+
+        def body():
+            thread = bed.hosts[0].app_thread(3)
+            value = yield from client.get(thread, b"absent")
+            assert value is None
+
+        _drive(bed, body)
+        assert client.not_found == 1
+
+    def test_delete_propagates_to_origin(self):
+        bed, cluster = _cluster(cache_capacity=4)
+        cluster.origin.preload({b"gone": b"x"})
+        client = cluster.client(0)
+
+        def body():
+            thread = bed.hosts[0].app_thread(3)
+            yield from client.delete(thread, b"gone")
+            value = yield from client.get(thread, b"gone")
+            assert value is None
+
+        _drive(bed, body)
+        cluster.drain()
+        assert cluster.origin.get(b"gone") is None
+
+    def test_drain_failure_reports(self):
+        bed, cluster = _cluster(cache_capacity=4, flush_batch=64,
+                                flush_interval=10.0)
+        # Sabotage: point one shard's flush target at a host with no
+        # origin socket.  Its write-behind batch can never land, and
+        # drain surfaces the failure instead of hanging forever.
+        victim = cluster.nodes[0]
+        victim.origin_addr = cluster.nodes[1].socket.transport.host.addr
+        client = cluster.client(0)
+
+        def body():
+            thread = bed.hosts[0].app_thread(3)
+            for i in range(12):
+                yield from client.put(thread, b"k%d" % i, b"v")
+
+        _drive(bed, body)
+        if victim.store.dirty_count:
+            with pytest.raises(ReproError):
+                cluster.drain()

@@ -62,3 +62,9 @@ class TestExamples:
         assert "0/5 cross-replica accepted" in out
         assert "0 unhandled errors" in out
         assert "OK: replicated front end kept every open alive." in out
+
+    def test_noisy_neighbor(self, capsys):
+        out = run_example("noisy_neighbor.py", capsys)
+        assert "isolation OFF" in out and "isolation ON" in out
+        assert "better with isolation on" in out
+        assert "OK: noisy neighbor contained" in out
