@@ -15,6 +15,11 @@ the PR description) or an accidental perf regression such as a timer
 leak or a retransmit storm -- the failure modes this gate exists to
 catch before they hide behind noisy wall-clock numbers.
 
+On any mismatch the gate prints the full expected-vs-actual table for
+every pinned bench before exiting non-zero, so one PR-induced shift
+across several benches reads as one table, not as N consecutive red CI
+runs discovered one bench at a time.
+
 Usage: python scripts/check_bench_counts.py BENCH_DIR
 """
 
@@ -25,43 +30,62 @@ import sys
 from pathlib import Path
 
 # Exact event counts for `python -m repro.bench <name> --quick`.
+# The "scale" count is invariant to the --domains setting: sharding
+# replaces each boundary hop's local receive event with exactly one
+# injected arrival event in the destination domain.
 EXPECTED_EVENTS = {
     "perf": 51321,
     "loaded": 169902,
     "incident": 582358,
     "tenant": 269289,
+    "scale": 585544,
 }
+
+
+def collect(bench_dir: Path) -> list[tuple[str, int, object, str]]:
+    """(name, expected, actual, problem) per pinned bench; "" means OK."""
+    rows = []
+    for name, expected in EXPECTED_EVENTS.items():
+        path = bench_dir / f"BENCH_{name}.json"
+        if not path.exists():
+            rows.append((name, expected, None, "report file missing"))
+            continue
+        perf = json.loads(path.read_text()).get("perf")
+        if not perf:
+            rows.append((name, expected, None, "report has no 'perf' section"))
+            continue
+        events = perf.get("events")
+        eps = perf.get("events_per_sec")
+        if not isinstance(eps, int) or eps <= 0:
+            rows.append((name, expected, events, "events_per_sec not recorded"))
+        elif events != expected:
+            rows.append((name, expected, events, f"drift {events - expected:+d}"))
+        else:
+            rows.append((name, expected, events, ""))
+    return rows
 
 
 def main(argv: list[str]) -> int:
     if len(argv) != 2:
         print(__doc__.strip().splitlines()[-1], file=sys.stderr)
         return 2
-    bench_dir = Path(argv[1])
-    failures = []
-    for name, expected in EXPECTED_EVENTS.items():
-        path = bench_dir / f"BENCH_{name}.json"
-        report = json.loads(path.read_text())
-        perf = report.get("perf")
-        if not perf:
-            failures.append(f"{name}: report has no 'perf' section")
-            continue
-        events = perf.get("events")
-        eps = perf.get("events_per_sec")
-        line = f"{name}: {events} events, {eps} events/sec"
-        if not isinstance(eps, int) or eps <= 0:
-            failures.append(f"{line} -- events_per_sec not recorded")
-        elif events != expected:
-            failures.append(
-                f"{line} -- expected exactly {expected} events "
-                f"({events - expected:+d}); if this change is intentional, "
-                f"update EXPECTED_EVENTS in {Path(__file__).name}"
-            )
-        else:
-            print(f"  [OK  ] {line} (expected {expected})")
-    for failure in failures:
-        print(f"  [FAIL] {failure}")
-    return 1 if failures else 0
+    rows = collect(Path(argv[1]))
+    failures = [r for r in rows if r[3]]
+    header = f"{'bench':<10} {'expected':>10} {'actual':>10}  status"
+    print(header)
+    print("-" * len(header))
+    for name, expected, actual, problem in rows:
+        shown = "-" if actual is None else actual
+        status = problem if problem else "OK"
+        print(f"{name:<10} {expected:>10} {shown:>10}  {status}")
+    if failures:
+        print(
+            f"\n{len(failures)} bench(es) drifted; if intentional, update "
+            f"EXPECTED_EVENTS in {Path(__file__).name} in the same PR and "
+            "explain why in the PR description."
+        )
+        return 1
+    return 0
 
 
 if __name__ == "__main__":

@@ -39,6 +39,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="reduced iteration counts for the 'perf', "
                              "'churn' and 'loaded' experiments (CI smoke size)")
+    parser.add_argument("--domains", type=int, default=None, metavar="N",
+                        help="partition sharded-kernel experiments ('scale') "
+                             "into N parallel time domains (default: the "
+                             "experiment's own choice; results are "
+                             "bit-identical for any N)")
     parser.add_argument("--no-json", action="store_true",
                         help="skip writing BENCH_<name>.json report files")
     parser.add_argument("--json-dir", default=".", metavar="DIR",
@@ -54,7 +59,10 @@ def main(argv: list[str] | None = None) -> int:
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiments: {', '.join(unknown)}")
-    results = run_fleet(names, jobs=args.jobs, quick=args.quick)
+    if args.domains is not None and args.domains < 1:
+        parser.error("--domains must be >= 1")
+    results = run_fleet(names, jobs=args.jobs, quick=args.quick,
+                        domains=args.domains)
     misses = 0
     for result in results:
         print(result.rendered)

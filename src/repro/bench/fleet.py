@@ -36,6 +36,7 @@ from repro.bench import (
     incident,
     loaded,
     perf,
+    scale,
     table1,
     table2,
     tenant,
@@ -64,10 +65,15 @@ EXPERIMENTS = {
     "incident": incident.run,
     "frontend": frontend.run,
     "tenant": tenant.run,
+    "scale": scale.run,
 }
 
 # Experiments whose run() accepts quick=True for a scaled-down CI pass.
-_QUICK_AWARE = {"perf", "churn", "loaded", "incident", "frontend", "tenant"}
+_QUICK_AWARE = {"perf", "churn", "loaded", "incident", "frontend", "tenant",
+                "scale"}
+
+# Experiments whose run() accepts domains=N (sharded-kernel partitioning).
+_DOMAIN_AWARE = {"scale"}
 
 
 @dataclass
@@ -82,17 +88,26 @@ class ExperimentResult:
     events: int
 
 
-def run_experiment(name: str, quick: bool = False) -> ExperimentResult:
+def run_experiment(
+    name: str, quick: bool = False, domains: int | None = None
+) -> ExperimentResult:
     """Run one registered experiment, timing it and counting loop events.
 
     The returned JSON report carries a ``perf`` key with host wall time and
     events/sec; everything else in the report is pure virtual-time output
     and is identical no matter where or when the experiment runs.
+    ``domains`` overrides the sharded-kernel partitioning for experiments
+    that support it and is ignored by the rest.
     """
     fn = EXPERIMENTS[name]
+    kwargs: dict = {}
+    if name in _QUICK_AWARE and quick:
+        kwargs["quick"] = True
+    if name in _DOMAIN_AWARE and domains is not None:
+        kwargs["domains"] = domains
     events0 = events_dispatched()
     start = time.perf_counter()
-    report = fn(quick=True) if (name in _QUICK_AWARE and quick) else fn()
+    report = fn(**kwargs)
     wall_s = time.perf_counter() - start
     events = events_dispatched() - events0
     report_json = report.to_json()
@@ -111,13 +126,16 @@ def run_experiment(name: str, quick: bool = False) -> ExperimentResult:
     )
 
 
-def _worker(args: tuple[str, bool]) -> ExperimentResult:
-    name, quick = args
-    return run_experiment(name, quick)
+def _worker(args: tuple[str, bool, int | None]) -> ExperimentResult:
+    name, quick, domains = args
+    return run_experiment(name, quick, domains)
 
 
 def run_fleet(
-    names: list[str], jobs: int = 1, quick: bool = False
+    names: list[str],
+    jobs: int = 1,
+    quick: bool = False,
+    domains: int | None = None,
 ) -> list[ExperimentResult]:
     """Run experiments, ``jobs`` at a time, merging results in input order.
 
@@ -127,7 +145,7 @@ def run_fleet(
     output independent of worker scheduling.
     """
     if jobs <= 1 or len(names) <= 1:
-        return [run_experiment(name, quick) for name in names]
+        return [run_experiment(name, quick, domains) for name in names]
     with ProcessPoolExecutor(max_workers=min(jobs, len(names))) as pool:
         # map() preserves input order; workers complete in any order.
-        return list(pool.map(_worker, [(name, quick) for name in names]))
+        return list(pool.map(_worker, [(name, quick, domains) for name in names]))

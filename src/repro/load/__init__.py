@@ -18,7 +18,10 @@ The package splits into three layers:
   distribution;
 - :mod:`repro.load.tenant` — per-tenant open-loop arrivals over a
   shared :class:`repro.tenancy.TenantFabric`, aggregating slowdown per
-  tenant (the noisy-neighbor engine).
+  tenant (the noisy-neighbor engine);
+- :mod:`repro.load.shard` — the same mesh and open-loop engine rebuilt
+  one time domain at a time for :mod:`repro.sim.shard`, with
+  shard-deterministic seeding and canonical-order result merging.
 """
 
 from repro.load.cluster import SERVER_PORT, SYSTEMS, ClusterHarness
@@ -34,6 +37,13 @@ from repro.load.distributions import (
 from repro.load.engine import LoadResult, OpenLoopEngine, wire_bytes
 from repro.load.frontend import FrontendEngine, SkewedKeys
 from repro.load.incident import IncidentEngine, IncidentMetrics
+from repro.load.shard import (
+    ShardedClusterHarness,
+    ShardedOpenLoopEngine,
+    build_domain_workload,
+    measure_baselines,
+    merge_load_results,
+)
 from repro.load.tenant import TenantLoadEngine, TenantWorkload
 
 __all__ = [
@@ -55,5 +65,10 @@ __all__ = [
     "SizeDistribution",
     "LoadResult",
     "OpenLoopEngine",
+    "ShardedClusterHarness",
+    "ShardedOpenLoopEngine",
+    "build_domain_workload",
+    "measure_baselines",
+    "merge_load_results",
     "wire_bytes",
 ]

@@ -1,0 +1,497 @@
+"""Per-domain open-loop workloads for the sharded cluster.
+
+:class:`~repro.load.cluster.ClusterHarness` assumes every host shares one
+event loop; under :mod:`repro.sim.shard` each time domain owns only its
+racks' hosts, so this module rebuilds the same any-to-any RPC mesh one
+domain slice at a time:
+
+- each domain constructs *its own* endpoints only.  A cross-domain
+  stream connection is built one-sided in each domain from deterministic
+  ports (both sides derive the identical flow tuple, so the fabric wires
+  them together without any cross-domain setup traffic), and the message
+  meshes key peers by address alone -- which
+  :func:`~repro.load.cluster._pair_keys` already supports.
+- each sender's arrival process is seeded from its *global* host index,
+  and message serials are namespaced per sender, so the traffic a host
+  offers is a pure function of (plan, seed, host) -- independent of how
+  the cluster is partitioned into domains.
+- baselines are measured once, up front, on a pristine 2x2 mini-cluster
+  with the target plan's link parameters (the unloaded best-case RTT is
+  topology-size independent), then passed into every domain.  This keeps
+  the slowdown denominators bit-identical across domain counts.
+- per-domain completion records merge in canonical ``(t, src, serial)``
+  order, so the merged histogram accumulates samples in the same order
+  no matter the partitioning -- means as well as percentiles are then
+  bit-identical across domain counts, which is what the CI shard gate
+  diffs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+from typing import Any, Generator, Optional
+
+from repro.core.codec import SmtCodec
+from repro.core.session import SmtSession
+from repro.errors import ReproError
+from repro.homa import HomaConfig, HomaSocket, HomaTransport
+from repro.homa.codec import PlainCodec, packets_per_segment_for
+from repro.ktls.ktls import KtlsConnection
+from repro.load.cluster import (
+    LOAD_AEAD,
+    MIN_MESSAGE,
+    SERVER_PORT,
+    SYSTEMS,
+    _pair_keys,
+    _StreamRpcClient,
+    build_request,
+    handle_request,
+    verify_response,
+)
+from repro.load.distributions import SizeDistribution
+from repro.load.engine import DEFAULT_RESPONSE, LoadResult, wire_bytes
+from repro.net.headers import PROTO_HOMA, PROTO_SMT
+from repro.sim.shard.domain import ShardDomain
+from repro.sim.shard.plan import ShardPlan
+from repro.sim.trace import Histogram
+from repro.tcp.transport import TcpConnection, TcpTransport
+
+#: Deterministic client-side ports for the one-sided stream mesh (the
+#: shared-loop mesh uses ``Host.alloc_port``, which both sides would have
+#: to agree on; here the pair ordinal pins the flow tuple instead).
+_CLIENT_PORT_BASE = 40000
+#: Serials are namespaced per sender so no two senders can collide no
+#: matter how windows interleave; fits the wire header's 64-bit serial.
+_SERIAL_STRIDE = 1 << 32
+
+
+def _pair_ordinal(src: int, dst: int, num_hosts: int) -> int:
+    """Dense rank of the ordered pair, same order the shared-loop mesh
+    enumerates pairs in (``src`` major, ``dst`` minor, self skipped)."""
+    return src * (num_hosts - 1) + (dst if dst < src else dst - 1)
+
+
+class ShardedClusterHarness:
+    """One domain's slice of a system's any-to-any RPC mesh.
+
+    The mesh spans the whole cluster; this object owns the endpoints,
+    verifying echo servers and client stubs of the domain's local hosts.
+    """
+
+    def __init__(
+        self,
+        domain: ShardDomain,
+        system: str,
+        config: Optional[HomaConfig] = None,
+        num_server_threads: int = 4,
+    ):
+        if system not in SYSTEMS:
+            raise ValueError(f"unknown system {system!r}; pick from {SYSTEMS}")
+        self.domain = domain
+        self.plan = domain.plan
+        self.system = system
+        self.loop = domain.loop
+        self.hosts = domain.hosts
+        self.global_indices = domain.global_indices
+        self.num_hosts = self.plan.num_hosts
+        self._local_of = {g: i for i, g in enumerate(self.global_indices)}
+        plan = self.plan
+        self._addr_of = [
+            plan.addr_of(g // plan.hosts_per_rack, g % plan.hosts_per_rack)
+            for g in range(self.num_hosts)
+        ]
+        self.server_integrity_errors = 0
+        #: Served-request counts by *global* host index (local hosts only).
+        self.requests_served = {g: 0 for g in self.global_indices}
+        self._socks: dict[int, HomaSocket] = {}
+        self._stream_clients: dict[tuple[int, int], _StreamRpcClient] = {}
+        if system in ("homa", "smt"):
+            self._build_message_mesh(config, num_server_threads)
+        else:
+            self._build_stream_mesh()
+
+    # -- construction -----------------------------------------------------------
+
+    def _build_message_mesh(
+        self, config: Optional[HomaConfig], num_server_threads: int
+    ) -> None:
+        encrypted = self.system == "smt"
+        proto = PROTO_SMT if encrypted else PROTO_HOMA
+        for i, host in enumerate(self.hosts):
+            transport = HomaTransport(host, config, proto=proto)
+            pps = packets_per_segment_for(host.nic.tso_mode)
+            if encrypted:
+                codecs: dict[int, SmtCodec] = {}
+
+                def provider(addr, port, host=host, codecs=codecs, pps=pps):
+                    codec = codecs.get(addr)
+                    if codec is None:
+                        codec = SmtCodec(
+                            SmtSession(
+                                _pair_keys(host.addr, addr),
+                                _pair_keys(addr, host.addr),
+                                aead_kind=LOAD_AEAD,
+                            ),
+                            host.costs,
+                            host.nic.num_queues,
+                            packets_per_segment=pps,
+                        )
+                        codecs[addr] = codec
+                    return codec
+
+                sock = HomaSocket(transport, SERVER_PORT, codec_provider=provider)
+            else:
+                plain = PlainCodec(proto, packets_per_segment=pps)
+                sock = HomaSocket(
+                    transport, SERVER_PORT, codec_provider=lambda a, p, c=plain: c
+                )
+            self._socks[self.global_indices[i]] = sock
+        for i in range(len(self.hosts)):
+            for k in range(num_server_threads):
+                self.loop.process(self._serve_messages(i, k))
+
+    def _serve_messages(self, i: int, k: int):
+        g = self.global_indices[i]
+        sock = self._socks[g]
+        thread = self.hosts[i].app_thread(k)
+        while True:
+            rpc = yield from sock.recv_request(thread)
+            response, ok = handle_request(rpc.payload)
+            self.requests_served[g] += 1
+            if not ok:
+                self.server_integrity_errors += 1
+            yield from sock.reply(thread, rpc, response)
+
+    def _build_stream_mesh(self) -> None:
+        """Local ends of every stream whose client or server lives here.
+
+        Ports are a pure function of the pair ordinal, so the two domains
+        holding the two ends construct matching flow tuples independently
+        -- no handshake crosses the boundary, exactly like the shared-loop
+        mesh's established-by-construction pairs.
+        """
+        mode = "sw" if self.system == "ktls" else None
+        n = self.num_hosts
+        for src_g in range(n):
+            for dst_g in range(n):
+                if src_g == dst_g:
+                    continue
+                src_i = self._local_of.get(src_g)
+                dst_i = self._local_of.get(dst_g)
+                if src_i is None and dst_i is None:
+                    continue
+                ordinal = _pair_ordinal(src_g, dst_g, n)
+                server_port = SERVER_PORT + 1 + ordinal
+                client_port = _CLIENT_PORT_BASE + ordinal
+                client_keys = _pair_keys(
+                    self._addr_of[src_g], self._addr_of[dst_g]
+                )
+                server_keys = _pair_keys(
+                    self._addr_of[dst_g], self._addr_of[src_g]
+                )
+                if src_i is not None:
+                    src = self.hosts[src_i]
+                    conn = TcpConnection(
+                        src, client_port, self._addr_of[dst_g], server_port
+                    )
+                    TcpTransport.for_host(src).add_connection(conn)
+                    chan = KtlsConnection(
+                        conn, mode, client_keys, server_keys, LOAD_AEAD
+                    )
+                    self._stream_clients[(src_g, dst_g)] = _StreamRpcClient(
+                        self.loop, src.app_thread(ordinal), chan
+                    )
+                if dst_i is not None:
+                    dst = self.hosts[dst_i]
+                    conn = TcpConnection(
+                        dst, server_port, self._addr_of[src_g], client_port
+                    )
+                    TcpTransport.for_host(dst).add_connection(conn)
+                    chan = KtlsConnection(
+                        conn, mode, server_keys, client_keys, LOAD_AEAD
+                    )
+                    self.loop.process(
+                        self._serve_stream(chan, dst.app_thread(ordinal), dst_g)
+                    )
+
+    def _serve_stream(self, channel, thread, dst_g: int):
+        from repro.apps.rpc import RpcChannel
+
+        rpc = RpcChannel(channel)
+        while True:
+            req_id, payload = yield from rpc.recv_request(thread)
+            response, ok = handle_request(payload)
+            self.requests_served[dst_g] += 1
+            if not ok:
+                self.server_integrity_errors += 1
+            yield from rpc.send_response(thread, req_id, response)
+
+    # -- engine-facing ------------------------------------------------------------
+
+    def thread_for(self, src_g: int, serial: int):
+        """A source-host app thread, rotated per RPC serial."""
+        return self.hosts[self._local_of[src_g]].app_thread(serial)
+
+    def call(
+        self,
+        src_g: int,
+        dst_g: int,
+        thread,
+        payload: bytes,
+        timeout: Optional[float] = None,
+    ) -> Generator[Any, Any, bytes]:
+        """One RPC from local host ``src_g`` to any host ``dst_g``."""
+        if self._socks:
+            response = yield from self._socks[src_g].call(
+                thread, self._addr_of[dst_g], SERVER_PORT, payload,
+                timeout=timeout,
+            )
+            return response
+        response = yield from self._stream_clients[(src_g, dst_g)].call(payload)
+        return response
+
+
+class ShardedOpenLoopEngine:
+    """Open-loop load from one domain's hosts, shard-deterministically.
+
+    Mirrors :class:`~repro.load.engine.OpenLoopEngine` with three changes
+    that make the offered traffic a pure per-host function: arrival RNGs
+    seed from global host indices, serials are namespaced per sender, and
+    baselines arrive pre-measured instead of being calibrated in-band.
+    Doubles as the domain workload object (``done()`` / ``result()``).
+    """
+
+    def __init__(
+        self,
+        harness: ShardedClusterHarness,
+        distribution: SizeDistribution,
+        load: float,
+        duration: float,
+        baselines: dict,
+        seed: int = 0,
+        response_size: int = DEFAULT_RESPONSE,
+        max_drain: float = 0.5,
+    ):
+        if not 0.0 < load < 1.0:
+            raise ValueError(f"load fraction {load} outside (0, 1)")
+        self.harness = harness
+        self.loop = harness.loop
+        self.plan = harness.plan
+        self.dist = distribution
+        self.load = load
+        self.duration = duration
+        self.seed = seed
+        self.baselines = dict(baselines)
+        self.response_size = max(response_size, MIN_MESSAGE)
+        self.max_drain = max_drain
+        mtu = self.plan.mtu
+        sizes = distribution.support()
+        if min(sizes) < MIN_MESSAGE:
+            raise ValueError(
+                f"distribution {distribution.name} has sizes below {MIN_MESSAGE} B"
+            )
+        if hasattr(distribution, "probabilities"):
+            mean_wire = sum(
+                wire_bytes(s, mtu) * p for s, p in distribution.probabilities()
+            )
+        else:
+            mean_wire = float(wire_bytes(int(distribution.mean()), mtu))
+        self.per_sender_rate = (
+            load * self.plan.bandwidth_bps / (8.0 * mean_wire)
+        )
+        self.issued = 0
+        self.completed = 0
+        self.failed = 0
+        self.integrity_errors = 0
+        self.achieved_bytes = 0
+        #: ``(t_complete, src_global, serial, size, cross, slowdown)`` --
+        #: the picklable evidence the coordinator merges canonically.
+        self.completions: list[tuple] = []
+        obs = harness.domain.obs
+        self._hist = None if obs is None else obs.metrics.histogram("load.slowdown")
+
+    def start(self) -> None:
+        """Schedule every local sender's arrival process (call once)."""
+        for src_g in self.harness.global_indices:
+            self.loop.process(self._arrivals(src_g))
+
+    def _arrivals(self, src_g: int):
+        loop = self.loop
+        rng = random.Random(self.seed * 1_000_003 + src_g)
+        num_hosts = self.harness.num_hosts
+        k = 0
+        while True:
+            yield loop.timeout(rng.expovariate(self.per_sender_rate))
+            if loop.now >= self.duration:
+                return
+            dst = rng.randrange(num_hosts - 1)
+            if dst >= src_g:
+                dst += 1
+            size = self.dist.sample(rng)
+            k += 1
+            self.issued += 1
+            loop.process(self._one_rpc(src_g, dst, size, src_g * _SERIAL_STRIDE + k))
+
+    def _one_rpc(self, src_g: int, dst_g: int, size: int, serial: int):
+        loop = self.loop
+        thread = self.harness.thread_for(src_g, serial)
+        request = build_request(serial, size, self.response_size)
+        t0 = loop.now
+        try:
+            response = yield from self.harness.call(src_g, dst_g, thread, request)
+        except ReproError:
+            self.failed += 1
+            return
+        rtt = loop.now - t0
+        if not verify_response(response, serial, self.response_size):
+            self.integrity_errors += 1
+        cross = self.plan.rack_of_index(src_g) != self.plan.rack_of_index(dst_g)
+        slowdown = rtt / self.baselines[(size, cross)]
+        self.completions.append((loop.now, src_g, serial, size, cross, slowdown))
+        self.achieved_bytes += size + self.response_size
+        self.completed += 1
+        if self._hist is not None:
+            self._hist.record(slowdown)
+
+    # -- workload protocol ---------------------------------------------------------
+
+    def done(self) -> bool:
+        now = self.loop.now
+        if now < self.duration:
+            return False
+        if self.completed + self.failed >= self.issued:
+            return True
+        # Bounded drain, like the shared-loop engine: in-flight RPCs
+        # (including loss recovery) get max_drain seconds, then we stop
+        # and the stragglers count as neither completed nor failed.
+        return now >= self.duration + self.max_drain
+
+    def result(self) -> dict:
+        return {
+            "issued": self.issued,
+            "completed": self.completed,
+            "failed": self.failed,
+            "integrity_errors": self.integrity_errors
+            + self.harness.server_integrity_errors,
+            "achieved_bytes": self.achieved_bytes,
+            "requests_served": dict(self.harness.requests_served),
+            "completions": list(self.completions),
+        }
+
+
+def build_domain_workload(domain: ShardDomain, args: dict):
+    """Workload factory (``repro.load.shard:build_domain_workload``).
+
+    ``args`` must carry ``system``, ``distribution``, ``load``,
+    ``duration`` and pre-measured ``baselines``; optional keys mirror the
+    engine's keyword arguments.
+    """
+    harness = ShardedClusterHarness(
+        domain,
+        args["system"],
+        config=args.get("config"),
+        num_server_threads=args.get("num_server_threads", 4),
+    )
+    engine = ShardedOpenLoopEngine(
+        harness,
+        args["distribution"],
+        args["load"],
+        args["duration"],
+        args["baselines"],
+        seed=args.get("seed", 0),
+        response_size=args.get("response_size", DEFAULT_RESPONSE),
+        max_drain=args.get("max_drain", 0.5),
+    )
+    engine.start()
+    return engine
+
+
+def measure_baselines(
+    plan: ShardPlan,
+    system: str,
+    distribution: SizeDistribution,
+    config: Optional[HomaConfig] = None,
+    response_size: int = DEFAULT_RESPONSE,
+    num_server_threads: int = 4,
+) -> dict:
+    """Unloaded best-case RTT per ``(size, cross_rack)`` for ``system``.
+
+    Measured on a pristine 2-rack x 2-host mini-cluster sharing the
+    target plan's link parameters -- unloaded RTT does not depend on the
+    cluster's size, and measuring outside the real run keeps the
+    denominators identical for every domain count.
+    """
+    mini = replace(
+        plan, num_racks=2, hosts_per_rack=2, domains=1, observe=False,
+        _domain_of_rack=(),
+    )
+    domain = ShardDomain(mini, 0)
+    harness = ShardedClusterHarness(
+        domain, system, config=config, num_server_threads=num_server_threads
+    )
+    loop = domain.loop
+    response_size = max(response_size, MIN_MESSAGE)
+    baselines: dict = {}
+
+    def body():
+        serial = 0
+        for cross, (src, dst) in ((False, (0, 1)), (True, (0, 2))):
+            for size in distribution.support():
+                serial += 1
+                request = build_request(serial, size, response_size)
+                thread = harness.thread_for(src, serial)
+                t0 = loop.now
+                response = yield from harness.call(src, dst, thread, request)
+                if not verify_response(response, serial, response_size):
+                    raise ReproError(f"baseline integrity failure at {size} B")
+                baselines[(size, cross)] = loop.now - t0
+
+    done = loop.process(body())
+    loop.run(until=loop.now + 2.0)
+    if not done.triggered:
+        raise ReproError("baseline calibration deadlocked")
+    if not done.ok:
+        raise done.value
+    return baselines
+
+
+def merge_load_results(
+    system: str,
+    load: float,
+    duration: float,
+    payloads: list[dict],
+    baselines: dict,
+    spine_spread: list = (),
+) -> LoadResult:
+    """Fold per-domain workload payloads into one :class:`LoadResult`.
+
+    Completion records sort by ``(t_complete, src, serial)`` before any
+    histogram sees them, so sample order -- and therefore every float the
+    result exposes -- is independent of the partitioning.
+    """
+    result = LoadResult(system=system, load=load, duration=duration)
+    result.baseline_rtt = dict(baselines)
+    result.spine_spread = list(spine_spread)
+    records: list[tuple] = []
+    for payload in payloads:
+        result.issued += payload["issued"]
+        result.completed += payload["completed"]
+        result.failed += payload["failed"]
+        result.integrity_errors += payload["integrity_errors"]
+        result.achieved_bytes += payload["achieved_bytes"]
+        records.extend(payload["completions"])
+    records.sort(key=lambda r: (r[0], r[1], r[2]))
+    for _t, _src, _serial, size, _cross, slowdown in records:
+        result.slowdowns.record(slowdown)
+        result.per_size.setdefault(size, Histogram()).record(slowdown)
+    return result
+
+
+def merged_requests_served(payloads: list[dict]) -> dict[int, int]:
+    """Served-request counts by global host index, all domains."""
+    served: dict[int, int] = {}
+    for payload in payloads:
+        for g, count in payload["requests_served"].items():
+            served[g] = served.get(g, 0) + count
+    return dict(sorted(served.items()))

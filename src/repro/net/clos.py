@@ -24,7 +24,7 @@ spine switches:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.errors import SimulationError
 from repro.net.addressing import FlowTuple
@@ -270,6 +270,186 @@ class ClosFabric:
                 leaf[field] += value
         spine = {"dropped": 0, "trimmed": 0, "queued": 0, "blackholed": 0}
         for sw in self.spines:
+            for field, value in sw.totals().items():
+                spine[field] += value
+        return {"leaf": leaf, "spine": spine, "spine_spread": self.spine_spread()}
+
+
+#: Boundary emit callback: (dest_domain, spine, packet, departure, arrival).
+ShardEmit = Callable[[int, int, Packet, float, float], None]
+
+
+class ShardClosFabric:
+    """One time domain's slice of a leaf-spine fabric (``repro.sim.shard``).
+
+    The full Clos fabric decomposes exactly along rack lines: contention
+    happens only at egress ports, and a spine's egress port toward rack
+    ``r`` carries *only* rack-``r`` traffic, so replicating each spine as
+    one shard per domain (holding just the local racks' down-trunks) is
+    behaviourally identical to the shared switch.  The cut runs through
+    the leaf up-trunk at serialisation end: the trunk's propagation delay
+    happens in the destination domain, which makes ``trunk_delay`` the
+    synchronization lookahead.  Every float the schedule sees (departure,
+    arrival, queueing) is computed by the same expressions as in
+    :class:`ClosFabric`, so an N-domain run replays the 1-domain event
+    times bit for bit.
+
+    Failure domains are not supported on a sharded fabric (the incident
+    scenarios run on the single-loop :class:`ClosFabric`).
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        domain: int,
+        local_racks: list[int],
+        domain_of_rack: list[int],
+        rack_of_addr: dict[int, int],
+        num_spines: int,
+        emit: ShardEmit,
+        bandwidth_bps: float = 100 * GBPS,
+        trunk_bandwidth_bps: Optional[float] = None,
+        host_link_delay: float = 0.5e-6,
+        trunk_delay: float = 0.5e-6,
+        mtu: int = 1500,
+        buffer_bytes: int = 128 * 1024,
+        trunk_buffer_bytes: Optional[int] = None,
+        trimming: bool = False,
+        ecmp_salt: int = 0,
+    ):
+        if not local_racks:
+            raise SimulationError("a shard fabric needs >= 1 local rack")
+        self.loop = loop
+        self.domain = domain
+        self.local_racks = list(local_racks)
+        self.num_spines = num_spines
+        self.bandwidth = bandwidth_bps
+        self.trunk_bandwidth = (
+            trunk_bandwidth_bps if trunk_bandwidth_bps is not None else bandwidth_bps
+        )
+        self.host_link_delay = host_link_delay
+        self.trunk_delay = trunk_delay
+        self.mtu = mtu
+        self.ecmp_salt = ecmp_salt
+        self._domain_of_rack = domain_of_rack
+        self._rack_of = rack_of_addr
+        self._emit = emit
+        trunk_buffer = (
+            trunk_buffer_bytes if trunk_buffer_bytes is not None else buffer_bytes
+        )
+        self.leaves: dict[int, Switch] = {
+            rack: Switch(
+                loop, bandwidth_bps=bandwidth_bps, delay=host_link_delay,
+                buffer_bytes=buffer_bytes, trimming=trimming,
+            )
+            for rack in self.local_racks
+        }
+        self.spine_shards = [
+            Switch(
+                loop, bandwidth_bps=self.trunk_bandwidth, delay=trunk_delay,
+                buffer_bytes=trunk_buffer, trimming=trimming,
+            )
+            for _ in range(num_spines)
+        ]
+        # Packets each local leaf steered up to each spine: {rack: [spine]}.
+        self.spine_packets: dict[int, list[int]] = {
+            rack: [0] * num_spines for rack in self.local_racks
+        }
+        self._ports: dict[int, FabricPort] = {}
+        for rack, leaf in self.leaves.items():
+            for s, shard in enumerate(self.spine_shards):
+                leaf.add_trunk(
+                    f"spine{s}", shard.inject,
+                    bandwidth_bps=self.trunk_bandwidth, delay=trunk_delay,
+                    buffer_bytes=trunk_buffer,
+                )
+                leaf.set_trunk_boundary(f"spine{s}", self._uplink_sender(s))
+                shard.add_trunk(
+                    f"rack{rack}", leaf.inject,
+                    bandwidth_bps=self.trunk_bandwidth, delay=trunk_delay,
+                    buffer_bytes=trunk_buffer,
+                )
+            leaf.set_router(self._leaf_router(rack))
+        for shard in self.spine_shards:
+            shard.set_router(self._spine_router)
+
+    # -- topology ----------------------------------------------------------------
+
+    def attach_host(self, rack: int, addr: int) -> FabricPort:
+        """Register ``addr`` in local ``rack``; returns its access port."""
+        leaf = self.leaves.get(rack)
+        if leaf is None:
+            raise SimulationError(f"rack {rack} not in domain {self.domain}")
+        if addr in self._ports:
+            raise SimulationError(f"address {addr} already attached")
+        port = FabricPort(self, addr, switch=leaf)
+        self._ports[addr] = port
+        return port
+
+    def port(self, addr: int) -> FabricPort:
+        port = self._ports.get(addr)
+        if port is None:
+            raise SimulationError(f"address {addr} not attached")
+        return port
+
+    def rack_of(self, addr: int) -> int:
+        rack = self._rack_of.get(addr)
+        if rack is None:
+            raise SimulationError(f"no rack for destination {addr}")
+        return rack
+
+    # -- boundary ----------------------------------------------------------------
+
+    def _uplink_sender(self, spine: int):
+        def sender(packet: Packet, arrival: float) -> None:
+            dest = self._domain_of_rack[self.rack_of(packet.ip.dst_addr)]
+            if dest == self.domain:
+                # Same domain: deliver exactly as call_later(delay) would
+                # have -- arrival is the identical float, scheduled from
+                # the identical event.
+                self.loop.call_at(arrival, self.spine_shards[spine].inject, packet)
+            else:
+                self._emit(dest, spine, packet, self.loop.now, arrival)
+
+        return sender
+
+    def deliver(self, spine: int, packet: Packet, arrival: float) -> None:
+        """Inject a cross-domain packet into the local spine shard."""
+        self.loop.call_at(arrival, self.spine_shards[spine].inject, packet)
+
+    # -- routing ------------------------------------------------------------------
+
+    def _leaf_router(self, rack: int):
+        def route(packet: Packet) -> PortKey:
+            dst = packet.ip.dst_addr
+            if self.rack_of(dst) == rack:
+                return dst
+            spine = ecmp_hash(packet, self.ecmp_salt) % self.num_spines
+            self.spine_packets[rack][spine] += 1
+            return f"spine{spine}"
+
+        return route
+
+    def _spine_router(self, packet: Packet) -> PortKey:
+        return f"rack{self.rack_of(packet.ip.dst_addr)}"
+
+    # -- accounting ---------------------------------------------------------------
+
+    def spine_spread(self) -> list[int]:
+        """Upward packets per spine, summed over the *local* leaves."""
+        return [
+            sum(row[s] for row in self.spine_packets.values())
+            for s in range(self.num_spines)
+        ]
+
+    def stats(self) -> dict:
+        """Local-tier counters, same shape as :meth:`ClosFabric.stats`."""
+        leaf = {"dropped": 0, "trimmed": 0, "queued": 0, "blackholed": 0}
+        for sw in self.leaves.values():
+            for field, value in sw.totals().items():
+                leaf[field] += value
+        spine = {"dropped": 0, "trimmed": 0, "queued": 0, "blackholed": 0}
+        for sw in self.spine_shards:
             for field, value in sw.totals().items():
                 spine[field] += value
         return {"leaf": leaf, "spine": spine, "spine_spread": self.spine_spread()}

@@ -49,6 +49,10 @@ class _Port:
         self.queued = 0
         self.busy = False
         self.receiver: Optional[Receiver] = None
+        # Domain-boundary sender (repro.sim.shard): when set, _finish hands
+        # the packet and its arrival time to this callable instead of
+        # scheduling the receiver locally.
+        self.boundary: Optional[Callable[[Packet, float], None]] = None
         self.fault_injector: Optional["FaultInjector"] = None
         # Passive capture tap: (packet, verdict) at delivery time.
         self.tap: Optional[Tap] = None
@@ -213,6 +217,15 @@ class Switch:
         span = pkt.meta.pop("obs_span", None)
         if span is not None:
             self.loop.obs.tracer.end(span)
+        boundary = port.boundary
+        if boundary is not None:
+            # Serialisation is done; propagation happens in the destination
+            # time domain.  The arrival time now + delay is the same float
+            # call_later would have produced, so a domain cut at this port
+            # is invisible to the virtual-time schedule.
+            boundary(pkt, self.loop.now + port.delay)
+            self._start_next(port)
+            return
         receiver = port.receiver
         if receiver is not None:
             injector = port.fault_injector
@@ -281,6 +294,21 @@ class Switch:
         if port is None:
             raise SimulationError(f"no port for address {addr}")
         port.fault_injector = injector
+
+    def set_trunk_boundary(
+        self, key: PortKey, sender: Optional[Callable[[Packet, float], None]]
+    ) -> None:
+        """Turn the egress port ``key`` into a time-domain boundary.
+
+        ``sender(packet, arrival_time)`` is called at serialisation end
+        (before propagation); the sender owns delivery -- typically by
+        queueing the packet for the destination domain, where it is
+        injected at ``arrival_time``.  ``None`` restores local delivery.
+        """
+        port = self._ports.get(key)
+        if port is None:
+            raise SimulationError(f"no port for address {key}")
+        port.boundary = sender
 
     def install_tap(self, addr: PortKey, tap: Optional[Tap]) -> None:
         """Passively observe the egress port ``addr`` (host or trunk)."""

@@ -7,6 +7,7 @@ under a fixed seed.
 """
 
 from repro.obs.capture import CapturedPacket, PacketCapture
+from repro.obs.merge import merge_digest, merge_snapshots
 from repro.obs.metrics import Gauge, MetricsRegistry
 from repro.obs.observability import Observability
 from repro.obs.spans import Span, SpanTracer
@@ -19,4 +20,6 @@ __all__ = [
     "PacketCapture",
     "Span",
     "SpanTracer",
+    "merge_digest",
+    "merge_snapshots",
 ]

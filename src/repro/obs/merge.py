@@ -1,0 +1,135 @@
+"""Merging per-domain observability snapshots into one cluster view.
+
+Each sharded time domain (``repro.sim.shard``) runs its own
+:class:`Observability` hub; at the end of a run the coordinator holds one
+``snapshot()`` dict per domain.  These helpers fold them into a single
+cluster-wide view:
+
+- metric values merge by name -- numbers sum (counters, busy-seconds,
+  packet counts are all extensive quantities), nested counter-set dicts
+  merge recursively, and rendered histogram summaries keep per-domain
+  entries (percentiles of percentiles would be a lie);
+- span layer summaries sum their count/duration/CPU fields per layer;
+- capture counters sum.
+
+Two determinism grades, used by different consumers:
+
+- :func:`merge_snapshots` is bit-deterministic across reruns of the same
+  partitioning (same domains, same snapshots, same fold order);
+- :func:`merge_digest` keeps only integer fields, which makes it
+  bit-identical across *different* domain counts of the same cluster as
+  well (float sums are associative-order sensitive; integer sums are
+  exact) -- this is the form benchmark reports embed, because the CI
+  shard gate diffs reports across domain counts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+def _all_int(d: dict) -> bool:
+    return all(
+        isinstance(v, int) and not isinstance(v, bool) for v in d.values()
+    )
+
+
+def merge_metric_values(per_domain: list[dict]) -> dict:
+    """Fold ``metrics`` sections name-by-name, domain order.
+
+    Numbers sum; counter-set dicts (all-integer values) sum keywise.
+    Anything else that collides across domains -- rendered histograms,
+    rate meters -- keeps one entry per domain under ``name.domainN``,
+    because summing percentiles would fabricate a statistic.
+    """
+    out: dict = {}
+    for i, metrics in enumerate(per_domain):
+        for name, value in metrics.items():
+            prior = out.get(name)
+            if prior is None and f"{name}.domain0" not in out:
+                out[name] = value
+                continue
+            if isinstance(prior, (int, float)) and isinstance(value, (int, float)):
+                out[name] = prior + value
+            elif (
+                isinstance(prior, dict)
+                and isinstance(value, dict)
+                and _all_int(prior)
+                and _all_int(value)
+            ):
+                merged = dict(prior)
+                for key, sub in value.items():
+                    merged[key] = merged.get(key, 0) + sub
+                out[name] = merged
+            else:
+                # Unsummable collision: split into per-domain entries.
+                if prior is not None:
+                    del out[name]
+                    for j in range(i):
+                        if name in per_domain[j]:
+                            out[f"{name}.domain{j}"] = per_domain[j][name]
+                out[f"{name}.domain{i}"] = value
+    return dict(sorted(out.items()))
+
+
+def merge_layer_summaries(per_domain: list[dict]) -> dict:
+    """Fold ``spans`` layer summaries, summing each layer's fields."""
+    out: dict = {}
+    for summary in per_domain:
+        for layer, fields in summary.items():
+            entry = out.setdefault(
+                layer, {"spans": 0, "open": 0, "virtual_s": 0.0, "cpu_s": 0.0}
+            )
+            for key in ("spans", "open", "virtual_s", "cpu_s"):
+                entry[key] += fields.get(key, 0)
+    return dict(sorted(out.items()))
+
+
+def merge_snapshots(snapshots: list[dict]) -> Optional[dict]:
+    """One cluster-wide snapshot from per-domain ``Observability.snapshot()``s.
+
+    ``now`` is the latest domain clock (domains share barriers, so they
+    differ only past the final barrier).  Deterministic across reruns of
+    the same partitioning.
+    """
+    if not snapshots:
+        return None
+    capture = {"seen": 0, "buffered": 0, "evicted": 0}
+    for snap in snapshots:
+        for key in capture:
+            capture[key] += snap.get("capture", {}).get(key, 0)
+    return {
+        "domains": len(snapshots),
+        "now": max(snap["now"] for snap in snapshots),
+        "metrics": merge_metric_values([snap["metrics"] for snap in snapshots]),
+        "spans": merge_layer_summaries([snap["spans"] for snap in snapshots]),
+        "capture": capture,
+    }
+
+
+def merge_digest(snapshots: list[dict]) -> Optional[dict]:
+    """Integer-only cluster digest, bit-identical across domain counts.
+
+    Keeps span counts per layer, integer metric sums and capture totals;
+    drops every float (their sums depend on association order, which
+    changes with the partitioning).
+    """
+    if not snapshots:
+        return None
+    merged = merge_snapshots(snapshots)
+    metrics = {
+        name: value
+        for name, value in merged["metrics"].items()
+        if isinstance(value, int) and not isinstance(value, bool)
+    }
+    spans = {
+        layer: {"spans": fields["spans"], "open": fields["open"]}
+        for layer, fields in merged["spans"].items()
+    }
+    # Deliberately no "domains" key: the digest describes the cluster,
+    # not the partitioning, and must diff clean across domain counts.
+    return {
+        "metrics": metrics,
+        "spans": spans,
+        "capture": merged["capture"],
+    }

@@ -849,6 +849,38 @@ class EventLoop:
             raise proc.value
         return proc.value
 
+    def next_event_time(self) -> Optional[float]:
+        """Virtual time of the earliest pending event, or ``None`` if idle.
+
+        The conservative shard scheduler (``repro.sim.shard``) uses this to
+        size safe synchronization windows: at a domain barrier every event
+        is strictly in the future, so ``min`` over domains bounds the next
+        state change anywhere.  Ready-queue entries fire at the current
+        time.  May pop tombstones and advance the wheel cursor to the next
+        occupied slot -- both are deterministic and dispatch nothing, so
+        the observable event sequence is unchanged.
+        """
+        if self._ready:
+            return self._now
+        cur = self._cur
+        while True:
+            if cur:
+                head = cur[0]
+                if head[2] is None:  # cancelled: drop the tombstone
+                    heappop(cur)
+                    self._tombstones -= 1
+                    self._size -= 1
+                    continue
+                return head[0]
+            if self._size:
+                # Like run(): a cascade may park entries in _cur even when
+                # _advance reports no newly-drained slot, so recheck _cur
+                # rather than trusting the return value.
+                self._advance()
+                if cur:
+                    continue
+            return None
+
     def pending_events(self) -> int:
         """Number of not-yet-dispatched events (for tests).
 

@@ -1,0 +1,23 @@
+"""Conservative parallel discrete-event simulation over sharded domains.
+
+Partitions a leaf-spine cluster into per-rack time domains that advance
+in parallel between synchronization barriers, with the trunk propagation
+delay as the lookahead.  See :mod:`repro.sim.shard.runner` for the
+protocol and DESIGN.md §16 for the architecture.
+"""
+
+from repro.sim.shard.boundary import OutboundQueue, decode_batch, encode_message
+from repro.sim.shard.domain import DomainResult, ShardDomain
+from repro.sim.shard.plan import ShardPlan
+from repro.sim.shard.runner import ShardRunner, ShardRunResult
+
+__all__ = [
+    "DomainResult",
+    "OutboundQueue",
+    "ShardDomain",
+    "ShardPlan",
+    "ShardRunner",
+    "ShardRunResult",
+    "decode_batch",
+    "encode_message",
+]

@@ -1,0 +1,122 @@
+"""Shard plans: how a leaf-spine fabric partitions into time domains.
+
+A :class:`ShardPlan` is the complete, picklable description of a sharded
+cluster: the Clos topology parameters, the host grid, and the assignment
+of racks to time domains.  Worker processes rebuild their whole domain
+(fabric slice, hosts, workload) from the plan alone, which is what keeps
+the ``multiprocessing`` carrier deterministic -- nothing crosses the pipe
+except the plan, encoded packets and picklable results.
+
+Racks are assigned to domains in contiguous blocks (rack ``r`` belongs to
+domain ``r * domains // num_racks``), so every domain owns at least one
+whole rack and the boundary cut always runs through leaf up-trunks.  The
+synchronization lookahead is therefore the trunk propagation delay: a
+packet finishing serialisation at ``t`` in one domain cannot affect any
+other domain before ``t + trunk_delay``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.errors import SimulationError
+from repro.host.costs import CostModel
+from repro.net.addressing import make_addr
+from repro.nic.tso import TsoMode
+from repro.units import GBPS
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Topology + partitioning for one sharded leaf-spine cluster."""
+
+    num_racks: int = 4
+    hosts_per_rack: int = 2
+    num_spines: int = 2
+    domains: int = 1
+    bandwidth_bps: float = 100 * GBPS
+    trunk_bandwidth_bps: Optional[float] = None
+    host_link_delay: float = 0.5e-6
+    trunk_delay: float = 0.5e-6
+    mtu: int = 1500
+    buffer_bytes: int = 128 * 1024
+    trunk_buffer_bytes: Optional[int] = None
+    trimming: bool = False
+    num_app_cores: int = 12
+    num_softirq_cores: int = 4
+    tso_mode: TsoMode = TsoMode.FULL
+    ecmp_salt: int = 0
+    seed: int = 0
+    #: Enable per-domain observability (metrics + spans, no packet taps).
+    observe: bool = False
+    #: Rack index of each domain, derived; do not pass explicitly.
+    _domain_of_rack: tuple = field(default=(), repr=False)
+
+    def __post_init__(self):
+        if self.num_racks < 1 or self.num_spines < 1:
+            raise SimulationError("a Clos fabric needs >= 1 rack and >= 1 spine")
+        if not 1 <= self.domains <= self.num_racks:
+            raise SimulationError(
+                f"domains must be in [1, num_racks]; got {self.domains} "
+                f"for {self.num_racks} racks"
+            )
+        object.__setattr__(
+            self,
+            "_domain_of_rack",
+            tuple(r * self.domains // self.num_racks for r in range(self.num_racks)),
+        )
+
+    # -- partitioning -------------------------------------------------------------
+
+    @property
+    def lookahead(self) -> float:
+        """Minimum boundary-link propagation delay (the sync window bound)."""
+        return self.trunk_delay
+
+    @property
+    def num_hosts(self) -> int:
+        return self.num_racks * self.hosts_per_rack
+
+    def domain_of_rack(self, rack: int) -> int:
+        return self._domain_of_rack[rack]
+
+    def racks_of_domain(self, domain: int) -> list[int]:
+        return [
+            r for r in range(self.num_racks) if self._domain_of_rack[r] == domain
+        ]
+
+    # -- the host grid ------------------------------------------------------------
+
+    def addr_of(self, rack: int, slot: int) -> int:
+        """Same address grid as ``ClosTestbed.leaf_spine``: 10.(1+r).0.(1+i)."""
+        return make_addr(10, 1 + rack, 0, 1 + slot)
+
+    def host_name(self, rack: int, slot: int) -> str:
+        return f"r{rack}h{slot}"
+
+    def global_index(self, rack: int, slot: int) -> int:
+        """Host index in rack-major order, stable across domain counts."""
+        return rack * self.hosts_per_rack + slot
+
+    def rack_of_index(self, index: int) -> int:
+        return index // self.hosts_per_rack
+
+    def domain_of_index(self, index: int) -> int:
+        return self._domain_of_rack[index // self.hosts_per_rack]
+
+    def rack_of_addr_map(self) -> dict[int, int]:
+        """Address -> rack for every host in the cluster (all domains)."""
+        return {
+            self.addr_of(r, i): r
+            for r in range(self.num_racks)
+            for i in range(self.hosts_per_rack)
+        }
+
+    def with_domains(self, domains: int) -> "ShardPlan":
+        """The same cluster repartitioned into ``domains`` time domains."""
+        return replace(self, domains=domains, _domain_of_rack=())
+
+    def cost_model(self) -> CostModel:
+        """The (deterministic) per-host cost model every domain shares."""
+        return CostModel()

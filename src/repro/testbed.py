@@ -250,6 +250,53 @@ class StarTestbed:
 
 
 @dataclass
+class ShardedClosTestbed:
+    """A leaf-spine cluster partitioned into parallel time domains.
+
+    Returned by ``ClosTestbed.leaf_spine(domains=N)`` for ``N > 1``.
+    There is deliberately no shared loop, fabric or host list: each
+    domain builds its own from :attr:`plan` (possibly in a worker
+    process), so workloads must arrive as a picklable
+    ``module:function`` factory path -- see
+    :func:`repro.load.shard.build_domain_workload` for the load-mesh one.
+    """
+
+    __test__ = False
+
+    plan: "object"
+
+    @property
+    def num_hosts(self) -> int:
+        return self.plan.num_hosts
+
+    @property
+    def domains(self) -> int:
+        return self.plan.domains
+
+    def runner(
+        self,
+        workload_factory: Optional[str] = None,
+        workload_args: Optional[dict] = None,
+        deadline: Optional[float] = None,
+        use_processes: bool = False,
+    ):
+        """A :class:`repro.sim.shard.ShardRunner` over this bed's plan."""
+        from repro.sim.shard import ShardRunner
+
+        return ShardRunner(
+            self.plan,
+            workload_factory=workload_factory,
+            workload_args=workload_args,
+            deadline=deadline,
+            use_processes=use_processes,
+        )
+
+    def run(self, **kwargs):
+        """Build a runner and drive it to completion in one call."""
+        return self.runner(**kwargs).run()
+
+
+@dataclass
 class ClosTestbed:
     """N racks x M hosts behind a leaf-spine fabric with ECMP spines.
 
@@ -301,12 +348,46 @@ class ClosTestbed:
         costs: Optional[CostModel] = None,
         seed: int = 0,
         ecmp_salt: int = 0,
-    ) -> "ClosTestbed":
+        domains: int = 1,
+    ):
         """Build the fabric and one NIC-attached host per rack slot.
 
         Host ``i`` of rack ``r`` is named ``r{r}h{i}`` and addressed
         ``10.(1+r).0.(1+i)``, so the rack is readable off the address.
+
+        ``domains > 1`` returns a :class:`ShardedClosTestbed` instead: the
+        same cluster partitioned into that many parallel time domains
+        (see :mod:`repro.sim.shard`).  Sharded beds have no shared event
+        loop or host list -- drive them through :meth:`ShardedClosTestbed.runner`
+        with a picklable workload factory.
         """
+        if domains > 1:
+            if costs is not None:
+                raise ValueError(
+                    "sharded beds rebuild CostModel() per domain; "
+                    "custom cost models are not supported with domains > 1"
+                )
+            from repro.sim.shard import ShardPlan
+
+            return ShardedClosTestbed(
+                plan=ShardPlan(
+                    num_racks=num_racks,
+                    hosts_per_rack=hosts_per_rack,
+                    num_spines=num_spines,
+                    domains=domains,
+                    bandwidth_bps=bandwidth_bps,
+                    trunk_bandwidth_bps=trunk_bandwidth_bps,
+                    mtu=mtu,
+                    buffer_bytes=buffer_bytes,
+                    trunk_buffer_bytes=trunk_buffer_bytes,
+                    trimming=trimming,
+                    num_app_cores=num_app_cores,
+                    num_softirq_cores=num_softirq_cores,
+                    tso_mode=tso_mode,
+                    ecmp_salt=ecmp_salt,
+                    seed=seed,
+                )
+            )
         from repro.net.clos import ClosFabric
 
         loop = EventLoop()

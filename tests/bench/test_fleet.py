@@ -15,7 +15,7 @@ class TestRegistry:
             "table1", "table2", "fig5", "fig6", "fig7", "fig7-mtu", "fig7-cpu",
             "fig8", "fig9", "fig10", "fig11", "fig12", "ablation-contexts",
             "ablation-acks", "ablation-bits", "perf", "churn", "loaded",
-            "incident", "frontend", "tenant",
+            "incident", "frontend", "tenant", "scale",
         }
         assert set(EXPERIMENTS) == expected
 

@@ -1,0 +1,77 @@
+"""The scale bench's quick mode: parity bands green, structure stable.
+
+The sharded-kernel experiment is the scaling subsystem's acceptance
+gate: every 1-vs-N-domain parity band (events, slowdown stats, books,
+spine spread, obs digest) must be exact, the loaded experiment's
+headline orderings must reproduce on the sharded kernel, and the sweep
+must complete every RPC with zero integrity errors.  CI's shard-smoke
+job additionally asserts rerun bit-identity and cross---domains parity
+on the rendered reports; here the bands themselves are asserted once on
+a cached quick run (the quick scale bench is the fleet's most expensive
+quick experiment, so it runs once per test session).
+"""
+
+import json
+
+import pytest
+
+from repro.bench.fleet import run_experiment
+
+
+@pytest.fixture(scope="module")
+def scale_result():
+    return run_experiment("scale", quick=True, domains=2)
+
+
+class TestScaleBenchQuick:
+    def test_all_bands_pass(self, scale_result):
+        assert scale_result.misses == 0, scale_result.rendered
+        checks = scale_result.report_json["checks"]
+        assert all(c["ok"] for c in checks), scale_result.rendered
+
+    def test_parity_bands_are_exact(self, scale_result):
+        by_name = {c["name"]: c for c in scale_result.report_json["checks"]}
+        for band in (
+            "parity: dispatched event totals identical across domain counts",
+            "parity: slowdown p50/p99/mean bit-identical across domain counts",
+            "parity: issued/completed/failed/integrity books identical",
+            "parity: ECMP spine spread identical across domain counts",
+        ):
+            assert by_name[band]["measured"] == 4, scale_result.rendered
+        assert (
+            by_name["parity: integer obs digest identical across domain counts"][
+                "measured"
+            ]
+            == 1
+        )
+        assert (
+            by_name["scale sweep: reassembly/fill integrity errors"]["measured"]
+            == 0
+        )
+
+    def test_headline_orderings_reproduce_on_sharded_kernel(self, scale_result):
+        by_name = {c["name"]: c for c in scale_result.report_json["checks"]}
+        assert by_name["homa p99 slowdown below tcp (sharded)"]["measured"] == 1.0
+        assert by_name["smt p99 slowdown below ktls (sharded)"]["measured"] == 1.0
+
+    def test_obs_digest_embedded_and_integer_only(self, scale_result):
+        digest = scale_result.report_json["obs"]["smt/scale-digest"]
+        assert digest, "smt observability digest missing from report"
+        assert "domains" not in digest  # must diff clean across --domains
+
+        def ints_only(value):
+            if isinstance(value, bool):
+                return False
+            if isinstance(value, int):
+                return True
+            if isinstance(value, dict):
+                return all(ints_only(v) for v in value.values())
+            if isinstance(value, (list, tuple)):
+                return all(ints_only(v) for v in value)
+            return isinstance(value, str)
+
+        assert ints_only(digest), digest
+
+    def test_report_survives_json_round_trip(self, scale_result):
+        report_json = scale_result.report_json
+        assert report_json == json.loads(json.dumps(report_json))
